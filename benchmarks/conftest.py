@@ -1,0 +1,56 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper
+(``pytest benchmarks/ --benchmark-only``).  The regenerated artifact is
+printed and key numbers are attached to the benchmark's ``extra_info`` so
+they appear in ``--benchmark-json`` output.
+
+Scale: benchmarks default to a reduced workload scale so the whole harness
+finishes in a few minutes.  Set ``REPRO_BENCH_SCALE=1.0`` (and optionally
+``REPRO_BENCH_SEEDS=1,2,3``) to regenerate the full-size numbers reported
+in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+
+def _env_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+def _env_seeds():
+    raw = os.environ.get("REPRO_BENCH_SEEDS", "1")
+    return tuple(int(s) for s in raw.split(",") if s)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return _env_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_seeds():
+    return _env_seeds()
+
+
+@pytest.fixture(scope="session")
+def detection_study(bench_scale, bench_seeds):
+    """One §5.3 study shared by the Table 3/4 and Figure 4/5 benchmarks."""
+    from repro.analysis.detection import run_detection_study
+
+    return run_detection_study(seeds=bench_seeds, scale=bench_scale)
+
+
+@pytest.fixture(scope="session")
+def overhead_rows(bench_scale, bench_seeds):
+    """One §5.4 study shared by the Table 5 and Figure 6 benchmarks."""
+    from repro.analysis.overhead import run_overhead_study
+
+    return run_overhead_study(seeds=bench_seeds, scale=bench_scale)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,29 @@
+"""Ablation bench (§4.3): allocation routines as page synchronization."""
+
+from conftest import run_once
+
+from repro.core.literace import LiteRace
+from repro.workloads.synthetic import heap_churn_program
+
+
+def test_ablation_alloc_sync(benchmark, bench_scale):
+    program = heap_churn_program(1, threads=6,
+                                 iterations=max(40, int(250 * bench_scale)))
+
+    def run_both():
+        good = LiteRace(sampler="Full", alloc_as_sync=True,
+                        seed=1).run(program)
+        bad = LiteRace(sampler="Full", alloc_as_sync=False,
+                       seed=1).run(program)
+        return good, bad
+
+    good, bad = run_once(benchmark, run_both)
+    print(f"\nalloc=sync: {good.report.num_static} false races")
+    print(f"alloc ignored: {bad.report.num_static} false static races "
+          f"({bad.report.num_dynamic} dynamic)")
+
+    # Recycled blocks never race when allocation is treated as page
+    # synchronization; ignoring the rule floods the report.
+    assert good.report.num_static == 0
+    assert bad.report.num_dynamic > 20
+    benchmark.extra_info["false_dynamic_races"] = bad.report.num_dynamic

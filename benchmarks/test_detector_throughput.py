@@ -1,0 +1,52 @@
+"""Analysis-throughput benchmark: reference detector vs FastTrack epochs.
+
+Not a paper table — this measures the offline analyzer itself, which
+matters for the paper's deployment story (§4.4: logs are processed offline
+or on a spare core, so analysis throughput bounds how much profiling a
+fleet can afford).  FastTrack's epoch fast paths should keep it at least
+competitive with the reference detector while reporting the same racy
+addresses.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.core.literace import LiteRace
+from repro.detector.fasttrack import FastTrackDetector
+from repro.detector.hb import HappensBeforeDetector
+
+
+@pytest.fixture(scope="module")
+def full_log():
+    program = workloads.build("dryad", seed=1, scale=0.1)
+    _, log = LiteRace(sampler="Full", seed=1).profile(program)
+    return log
+
+
+def test_reference_detector_throughput(benchmark, full_log):
+    def analyze():
+        detector = HappensBeforeDetector()
+        detector.feed_all(full_log.events)
+        return detector
+
+    detector = benchmark.pedantic(analyze, rounds=3, iterations=1)
+    benchmark.extra_info["events"] = len(full_log)
+    benchmark.extra_info["races"] = detector.report.num_static
+
+
+def test_fasttrack_detector_throughput(benchmark, full_log):
+    def analyze():
+        detector = FastTrackDetector()
+        detector.feed_all(full_log.events)
+        return detector
+
+    detector = benchmark.pedantic(analyze, rounds=3, iterations=1)
+    memory_events = full_log.memory_count
+    benchmark.extra_info["fast_path_fraction"] = round(
+        detector.fast_path_hits / memory_events, 4)
+    # The epoch optimization must actually be taking its fast paths, and
+    # must agree with the reference detector on racy addresses.
+    assert detector.fast_path_hits > 0.7 * memory_events
+    reference = HappensBeforeDetector()
+    reference.feed_all(full_log.events)
+    assert detector.report.addresses == reference.report.addresses

@@ -1,0 +1,57 @@
+"""Regenerates Figure 5: rare vs frequent detection rates."""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.tables import format_percent, format_table
+from repro.core.samplers import SAMPLER_ORDER
+
+
+def test_figure5_rare_frequent(benchmark, detection_study, bench_scale):
+    study = detection_study
+
+    def build_artifact():
+        parts = []
+        for which in ("rare", "frequent"):
+            rows = []
+            for bench in study.benchmarks():
+                rows.append([bench] + [
+                    format_percent(study.detection_rate(bench, s, which))
+                    for s in SAMPLER_ORDER
+                ])
+            rows.append(["Average"] + [
+                format_percent(study.average_detection_rate(s, which))
+                for s in SAMPLER_ORDER
+            ])
+            parts.append(format_table(
+                ["Benchmark"] + list(SAMPLER_ORDER), rows,
+                title=f"Figure 5: {which} race detection rate"))
+        return "\n\n".join(parts)
+
+    print("\n" + run_once(benchmark, build_artifact))
+
+    rare = {s: study.average_detection_rate(s, "rare")
+            for s in SAMPLER_ORDER}
+    freq = {s: study.average_detection_rate(s, "frequent")
+            for s in SAMPLER_ORDER}
+    # Rare/frequent classification needs full-size runs to be meaningful
+    # (the 3-per-million threshold collapses on tiny logs).
+    if bench_scale >= 0.5 and not math.isnan(rare["TL-Ad"]):
+        # the thread-local samplers are the clear winners for rare races
+        assert rare["TL-Ad"] > rare["G-Ad"]
+        assert rare["TL-Ad"] > rare["G-Fx"]
+        # the random sampler finds very few rare races
+        assert rare["Rnd10"] < 0.2
+        # UCP skips exactly the cold code where rare races live
+        assert rare["UCP"] < 0.1
+    # most samplers perform well for the frequent ones (at reduced scale
+    # the 3-per-million threshold reclassifies cold races as "frequent",
+    # so this shape only holds on full-size runs)
+    if bench_scale >= 0.5:
+        for s in ("TL-Ad", "G-Fx", "Rnd10"):
+            if not math.isnan(freq[s]):
+                assert freq[s] > 0.5
+    for s in SAMPLER_ORDER:
+        benchmark.extra_info[f"rare_{s}"] = round(rare[s], 4) \
+            if not math.isnan(rare[s]) else None

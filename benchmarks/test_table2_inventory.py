@@ -1,0 +1,20 @@
+"""Regenerates Table 2: the benchmark inventory."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_inventory(benchmark, bench_scale):
+    artifact = run_once(benchmark,
+                        lambda: table2.run(scale=bench_scale, seeds=(1,)))
+    print("\n" + artifact)
+    # Shape: Firefox has the largest function population; the +stdlib
+    # Dryad build is substantially larger than plain Dryad.
+    from repro import workloads
+
+    def fns(name):
+        return workloads.build(name, seed=1, scale=bench_scale).num_functions
+
+    assert fns("firefox-start") > fns("dryad-stdlib") > fns("dryad")
+    benchmark.extra_info["firefox_start_functions"] = fns("firefox-start")

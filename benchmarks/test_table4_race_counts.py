@@ -1,0 +1,37 @@
+"""Regenerates Table 4: static races found, rare vs frequent."""
+
+from conftest import run_once
+
+from repro import workloads
+from repro.analysis.tables import format_table
+
+
+def test_table4_race_counts(benchmark, detection_study, bench_scale):
+    study = detection_study
+
+    def build_artifact():
+        rows = []
+        for bench in study.benchmarks():
+            total, rare, freq = study.race_counts(bench)
+            paper = workloads.get(bench).paper_races
+            rows.append([bench, total, rare, freq,
+                         paper.total, paper.rare, paper.frequent])
+        return format_table(
+            ["Benchmark", "#races", "#Rare", "#Freq",
+             "paper", "paper rare", "paper freq"], rows,
+            title="Table 4: static races under full logging",
+        )
+
+    print("\n" + run_once(benchmark, build_artifact))
+
+    for bench in study.benchmarks():
+        total, rare, freq = study.race_counts(bench)
+        paper = workloads.get(bench).paper_races
+        # Total race counts are planted and must match Table 4 exactly.
+        assert total == paper.total, bench
+        # The rare/frequent split depends on run volume; at full scale it
+        # must match the paper exactly as well.
+        if bench_scale >= 1.0:
+            assert (rare, freq) == (paper.rare, paper.frequent), bench
+        benchmark.extra_info[bench] = {"total": total, "rare": rare,
+                                       "freq": freq}

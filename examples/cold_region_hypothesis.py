@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Demonstrating the cold-region hypothesis on the Dryad channel workload.
+
+The core claim of the paper (§3.4): in reasonably well-tested programs,
+data races occur when a thread executes a *cold* region, so a sampler that
+concentrates on each thread's first executions of each function finds most
+races at a tiny sampling rate — and a sampler that logs everything *except*
+cold regions (UCP) finds few races despite logging almost everything.
+
+This example runs the §5.3 marked methodology on one execution of the
+Dryad channel workload and prints, per planted race, which samplers caught
+it — making the hypothesis visible race by race.
+
+Run:  python examples/cold_region_hypothesis.py [scale]
+"""
+
+import sys
+
+from repro import run_marked, workloads
+from repro.core.samplers import SAMPLER_ORDER
+from repro.detector import HappensBeforeDetector
+from repro.eventlog.events import SyncEvent
+
+SEED = 11
+
+
+def main(scale: float) -> None:
+    program = workloads.build("dryad", seed=SEED, scale=scale)
+    marked = run_marked(program, list(SAMPLER_ORDER), seed=SEED)
+
+    full = HappensBeforeDetector()
+    full.feed_all(marked.log.events)
+    full_races = full.report.static_races
+
+    detected = {}
+    for sampler in SAMPLER_ORDER:
+        bit = marked.harness.sampler_bit(sampler)
+        sub = HappensBeforeDetector()
+        sub.feed_all(e for e in marked.log.events
+                     if isinstance(e, SyncEvent) or (e.mask & (1 << bit)))
+        detected[sampler] = sub.report.static_races & full_races
+
+    print(f"{program.name}: {len(full_races)} static races under full "
+          f"logging\n")
+    width = max(len(r.name) for r in program.planted_races) + 2
+    print("race site".ljust(width) + "kind".ljust(6)
+          + "  ".join(s.ljust(6) for s in SAMPLER_ORDER))
+    for race in program.planted_races:
+        kind = "rare" if race.expect_rare else "freq"
+        for key in race.keys:
+            if key not in full_races:
+                continue
+            marks = "  ".join(
+                ("yes" if key in detected[s] else ".").ljust(6)
+                for s in SAMPLER_ORDER
+            )
+            print(f"{race.name.ljust(width)}{kind.ljust(6)}{marks}")
+
+    print("\neffective sampling rates:")
+    for sampler in SAMPLER_ORDER:
+        esr = (marked.sampler_memory_count(sampler)
+               / max(1, marked.log.memory_count))
+        caught = len(detected[sampler])
+        print(f"  {sampler:<7} logged {esr:6.2%} of memory ops, "
+              f"found {caught}/{len(full_races)} races")
+    print("\nNote how UCP logs nearly everything yet misses exactly the "
+          "cold (rare) sites\nthat the thread-local samplers catch at a "
+          "fraction of the cost.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.5)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Coverage accumulates across deployments (§3.1).
+
+The paper's argument for accepting false negatives: "a sampling-based
+detector, with its low overhead, would encourage users to widely deploy it
+on many more executions of the program, possibly achieving better
+coverage."  This example simulates that deployment story: the same
+application runs many times (different seeds — different interleavings and
+sampling decisions), each run under the cheap TL-Ad sampler, and the union
+of detected races grows toward what a single (expensive) full-logging run
+finds.
+
+Run:  python examples/deployment_coverage.py [scale] [runs]
+"""
+
+import sys
+
+from repro import LiteRace, workloads
+
+WORKLOAD = "apache-1"
+
+
+def main(scale: float, runs: int) -> None:
+    program = workloads.build(WORKLOAD, seed=0, scale=scale)
+    planted = {key for race in program.planted_races for key in race.keys}
+
+    full = LiteRace(sampler="Full", seed=0).run(program)
+    full_found = full.report.static_races & planted
+    print(f"{WORKLOAD}: one full-logging run finds "
+          f"{len(full_found)}/{len(planted)} races "
+          f"at {full.slowdown:.2f}x overhead\n")
+
+    print(f"{runs} cheap TL-Ad deployments instead:")
+    accumulated = set()
+    total_overhead = 0.0
+    for seed in range(1, runs + 1):
+        program = workloads.build(WORKLOAD, seed=seed, scale=scale)
+        result = LiteRace(sampler="TL-Ad", seed=seed).run(program)
+        new = (result.report.static_races & planted) - accumulated
+        accumulated |= result.report.static_races & planted
+        total_overhead += result.slowdown
+        marker = f"  +{len(new)} new" if new else ""
+        print(f"  run {seed:>2}: sampled "
+              f"{result.effective_sampling_rate:5.2%}, "
+              f"slowdown {result.slowdown:.2f}x, cumulative races "
+              f"{len(accumulated)}/{len(planted)}{marker}")
+
+    print(f"\nafter {runs} deployments: {len(accumulated)}/{len(planted)} "
+          f"races at an average {total_overhead / runs:.2f}x per run —")
+    print("coverage approaches full logging while every individual run "
+          "stayed cheap enough to deploy.")
+
+
+if __name__ == "__main__":
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    runs = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    main(scale, runs)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Happens-before vs lockset detection: why the paper chose happens-before.
+
+The paper (§2, §4.4) uses happens-before detection because it reports no
+false positives and understands every synchronization paradigm, whereas
+Eraser-style lockset detection predicts more races but (a) reports false
+positives and (b) only understands mutual-exclusion locks.
+
+This example builds three small programs and runs both detectors on the
+same full log:
+
+1. a genuine race            — both detectors report it;
+2. event-synchronized code   — lockset falsely reports a race, because it
+                               cannot see the notify/wait ordering;
+3. a lock-protected counter  — neither reports anything.
+
+Run:  python examples/detector_comparison.py
+"""
+
+from repro import LiteRace
+from repro.detector import LocksetDetector, HappensBeforeDetector
+from repro.tir import ProgramBuilder
+from repro.workloads import two_thread_racer
+
+
+def event_synced_program():
+    """Producer/consumer ordered by an event — correctly synchronized."""
+    b = ProgramBuilder("event-synced")
+    data = b.global_addr("data")
+    ready = b.global_addr("ready_event")
+
+    with b.function("producer") as f:
+        f.write(data)
+        f.notify(ready)
+
+    with b.function("consumer") as f:
+        f.wait(ready)
+        f.read(data)
+        f.write(data)  # take ownership of the handed-off record
+
+    with b.function("main", slots=2) as f:
+        f.fork("producer", tid_slot=0)
+        f.fork("consumer", tid_slot=1)
+        f.join(0)
+        f.join(1)
+    return b.build(entry="main")
+
+
+def locked_counter_program():
+    b = ProgramBuilder("locked-counter")
+    counter = b.global_addr("counter")
+    lock = b.global_addr("lock")
+
+    with b.function("bump") as f:
+        with f.critical(lock):
+            f.read(counter)
+            f.write(counter)
+
+    with b.function("worker") as f:
+        with f.loop(10):
+            f.call("bump")
+
+    with b.function("main", slots=2) as f:
+        f.fork("worker", tid_slot=0)
+        f.fork("worker", tid_slot=1)
+        f.join(0)
+        f.join(1)
+    return b.build(entry="main")
+
+
+def compare(program) -> None:
+    _, log = LiteRace(sampler="Full", seed=3).profile(program)
+    hb = HappensBeforeDetector().feed_all(log.events).report
+    ls = LocksetDetector().feed_all(log.events).report
+    print(f"{program.name:<16} happens-before: {hb.num_static:>2} race(s)   "
+          f"lockset: {ls.num_static:>2} race(s)")
+    return hb.num_static, ls.num_static
+
+
+def main() -> None:
+    print("detector comparison on identical full logs\n")
+    racy = compare(two_thread_racer(synchronized=False))
+    evented = compare(event_synced_program())
+    locked = compare(locked_counter_program())
+
+    assert racy == (1, 1), "both should find the real race"
+    assert evented[0] == 0 and evented[1] >= 1, \
+        "lockset should false-positive on event synchronization"
+    assert locked == (0, 0), "neither should flag the locked counter"
+    print("\nlockset flags the event-synchronized program — a false "
+          "positive.\nhappens-before stays precise, which is why LiteRace "
+          "uses it (§3.2, §4.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: find a data race with LiteRace in ~30 lines.
+
+Builds the paper's Figure 1 examples as TIR programs — two threads writing
+a shared variable, once properly locked and once not — then runs the full
+LiteRace pipeline (instrument, execute under a seeded scheduler, log,
+offline happens-before analysis) on each.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LiteRace
+from repro.workloads import two_thread_racer
+
+
+def analyze(synchronized: bool) -> None:
+    program = two_thread_racer(synchronized=synchronized)
+    tool = LiteRace(sampler="TL-Ad", seed=42)
+    result = tool.run(program)
+
+    label = "properly locked" if synchronized else "unsynchronized"
+    print(f"{program.name} ({label})")
+    print(f"  memory ops logged : {result.run.sampled_memory_ops}"
+          f" of {result.run.memory_ops}"
+          f" ({result.effective_sampling_rate:.0%})")
+    print(f"  sync ops logged   : {result.log.sync_count} (always all)")
+    print(f"  slowdown          : {result.slowdown:.2f}x")
+    if result.report.num_static == 0:
+        print("  races             : none")
+    for (pc1, pc2), count in result.report.occurrences.items():
+        example = result.report.examples[(pc1, pc2)]
+        print(f"  RACE at pcs ({pc1}, {pc2}) on address "
+              f"{example.addr:#x} — threads {example.first_tid} and "
+              f"{example.second_tid}, seen {count}x")
+    print()
+
+
+def main() -> None:
+    print("LiteRace quickstart: the two programs of the paper's Figure 1\n")
+    analyze(synchronized=True)   # left side: no race
+    analyze(synchronized=False)  # right side: a write-write race
+
+
+if __name__ == "__main__":
+    main()

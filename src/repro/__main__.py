@@ -1,0 +1,182 @@
+"""Command-line interface: run LiteRace on a workload and report races.
+
+Examples::
+
+    python -m repro run apache-1 --sampler TL-Ad --seed 1
+    python -m repro run dryad --sampler Full --scale 0.2
+    python -m repro compare firefox-render --seeds 1,2
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import workloads
+from .analysis.tables import format_percent, format_table
+from .core.literace import LiteRace, run_baseline, run_marked
+from .core.samplers import SAMPLER_ORDER
+from .detector.hb import HappensBeforeDetector
+from .eventlog.events import SyncEvent
+
+
+def _cmd_list(args) -> int:
+    rows = []
+    for name in workloads.names():
+        spec = workloads.get(name)
+        flags = []
+        if spec.in_race_eval:
+            flags.append("race-eval")
+        if spec.in_overhead_eval:
+            flags.append("overhead-eval")
+        rows.append([name, spec.title, ", ".join(flags) or "-",
+                     spec.description])
+    print(format_table(["name", "title", "studies", "description"], rows,
+                       title="Registered workloads"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program = workloads.build(args.workload, seed=args.seed,
+                              scale=args.scale)
+    baseline = run_baseline(program, seed=args.seed)
+    tool = LiteRace(sampler=args.sampler, seed=args.seed,
+                    num_counters=args.counters)
+    result = tool.run(program)
+    if args.log_out:
+        from .eventlog.store import save_log
+
+        written = save_log(result.log, args.log_out)
+        print(f"log written to {args.log_out} ({written:,} bytes)")
+
+    from .core.triage import render_triage
+
+    if args.suppressions:
+        from .core.suppressions import SuppressionList
+
+        with open(args.suppressions) as handle:
+            rules = SuppressionList.parse(handle.read())
+        kept, suppressed = rules.split(result.report, program)
+        if suppressed.num_static:
+            print(f"({suppressed.num_static} known-benign race(s) "
+                  f"suppressed by {args.suppressions})")
+        result.report = kept
+
+    header = (f"{program.name}: {program.num_functions} functions, "
+              f"{baseline.memory_ops:,} memory ops, "
+              f"{baseline.threads_created} threads — sampler "
+              f"{tool.sampler.short_name}")
+    print(render_triage(program, result, title=header))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    """Offline analysis of a saved log (§4.4: profile now, triage later)."""
+    from .detector.hb import HappensBeforeDetector
+    from .detector.merge import merge_thread_logs
+    from .eventlog.store import load_log
+
+    log = load_log(args.log)
+    merged = merge_thread_logs(log)
+    detector = HappensBeforeDetector(alloc_as_sync=not args.no_alloc_sync)
+    detector.feed_all(merged.events)
+    report = detector.report
+
+    print(f"log      : {args.log} — {log.sync_count:,} sync events, "
+          f"{log.memory_count:,} memory events, "
+          f"{len(log.per_thread())} threads")
+    if merged.inconsistencies:
+        print(f"WARNING  : {merged.inconsistencies} timestamp "
+              f"inconsistencies during order reconstruction")
+    if not report.num_static:
+        print("no data races detected")
+        return 0
+    print(f"{report.num_static} static data race(s) "
+          f"({report.num_dynamic} dynamic):")
+    for pc1, pc2, count in report.summary_rows():
+        example = report.examples[(pc1, pc2)]
+        print(f"  pcs ({pc1}, {pc2})  seen {count}x  "
+              f"e.g. addr {example.addr:#x} between threads "
+              f"{example.first_tid} and {example.second_tid}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s)
+    samplers = list(SAMPLER_ORDER)
+    totals = {name: [0, 0] for name in samplers}
+    esrs = {name: [] for name in samplers}
+    for seed in seeds:
+        program = workloads.build(args.workload, seed=seed,
+                                  scale=args.scale)
+        marked = run_marked(program, samplers, seed=seed)
+        full = HappensBeforeDetector()
+        full.feed_all(marked.log.events)
+        reference = full.report.static_races
+        for name in samplers:
+            bit = marked.harness.sampler_bit(name)
+            sub = HappensBeforeDetector()
+            sub.feed_all(
+                e for e in marked.log.events
+                if isinstance(e, SyncEvent) or (e.mask & (1 << bit))
+            )
+            totals[name][0] += len(sub.report.static_races & reference)
+            totals[name][1] += len(reference)
+            esrs[name].append(marked.log.memory_logged_by(bit)
+                              / max(1, marked.log.memory_count))
+    rows = []
+    for name in samplers:
+        found, reference = totals[name]
+        esr = sum(esrs[name]) / len(esrs[name])
+        rate = found / reference if reference else float("nan")
+        rows.append([name, format_percent(esr), f"{found}/{reference}",
+                     format_percent(rate)])
+    print(format_table(
+        ["sampler", "ESR", "races found", "detection rate"], rows,
+        title=f"Sampler comparison on {args.workload} "
+              f"(seeds {','.join(map(str, seeds))})",
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LiteRace (PLDI 2009) reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered workloads")
+
+    run_p = sub.add_parser("run", help="profile one workload and report races")
+    run_p.add_argument("workload")
+    run_p.add_argument("--sampler", default="TL-Ad",
+                       help="sampler short name (default TL-Ad)")
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--counters", type=int, default=128,
+                       help="timestamp counters (default 128)")
+    run_p.add_argument("--log-out", default=None,
+                       help="write the event log to this file")
+    run_p.add_argument("--suppressions", default=None,
+                       help="file of known-benign races to filter out")
+
+    an_p = sub.add_parser(
+        "analyze", help="offline analysis of a saved event log")
+    an_p.add_argument("log", help="a .ltrc file written by run --log-out")
+    an_p.add_argument("--no-alloc-sync", action="store_true",
+                      help="disable the §4.3 allocation-as-sync rule")
+
+    cmp_p = sub.add_parser("compare",
+                           help="compare all samplers on one workload (§5.3)")
+    cmp_p.add_argument("workload")
+    cmp_p.add_argument("--seeds", default="1")
+    cmp_p.add_argument("--scale", type=float, default=1.0)
+
+    args = parser.parse_args(argv)
+    handler = {"list": _cmd_list, "run": _cmd_run,
+               "analyze": _cmd_analyze, "compare": _cmd_compare}
+    return handler[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

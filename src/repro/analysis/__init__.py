@@ -1,0 +1,23 @@
+"""Experiment metrics: detection rates, sampling rates, overheads, tables."""
+
+from .detection import (
+    DetectionStudy,
+    RunDetection,
+    SamplerOutcome,
+    run_detection_study,
+)
+from .overhead import OverheadRow, run_overhead_study
+from .tables import bar_chart, format_percent, format_slowdown, format_table
+
+__all__ = [
+    "DetectionStudy",
+    "RunDetection",
+    "SamplerOutcome",
+    "run_detection_study",
+    "OverheadRow",
+    "run_overhead_study",
+    "format_table",
+    "format_percent",
+    "format_slowdown",
+    "bar_chart",
+]

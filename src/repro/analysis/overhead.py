@@ -1,0 +1,140 @@
+"""The §5.4 overhead study: Table 5 and Figure 6.
+
+Each benchmark is executed in the paper's four configurations:
+
+1. **baseline** — the uninstrumented application;
+2. **+ dispatch** — dispatch checks only (``Never`` sampler, no logging);
+3. **+ sync logging** — dispatch checks plus synchronization logging;
+4. **LiteRace** — the full tool (TL-Ad sampling plus memory logging);
+
+plus **full logging** (every memory op, no dispatch checks or clones).
+
+Slowdowns are virtual-clock ratios against the baseline execution of the
+*same seed*, and log sizes are measured on the wire encoding, converted to
+MB/s with the cost model's cycles-per-second constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.harness import ProfilingHarness
+from ..core.literace import run_baseline
+from ..core.samplers import make_sampler
+from ..core.tracker import TimestampTracker
+from ..eventlog.encode import encoded_size
+from ..runtime.cost import DEFAULT_COST_MODEL, CostModel
+from ..runtime.executor import Executor
+from ..runtime.scheduler import RandomInterleaver
+from .. import workloads
+
+__all__ = ["OverheadRow", "run_overhead_study"]
+
+
+@dataclass
+class OverheadRow:
+    """Measurements for one benchmark (averaged over seeds)."""
+
+    benchmark: str
+    title: str
+    baseline_seconds: float
+    #: Virtual-clock slowdowns vs baseline.
+    dispatch_only_slowdown: float
+    sync_logging_slowdown: float
+    literace_slowdown: float
+    full_logging_slowdown: float
+    #: Log production rates (MB per second of instrumented run time).
+    literace_mb_per_s: float
+    full_mb_per_s: float
+    #: Figure 6 decomposition from the LiteRace run, as fractions of the
+    #: baseline time (stack these on 1.0 to draw the figure).
+    frac_dispatch: float
+    frac_sync_log: float
+    frac_memory_log: float
+    #: Paper reference numbers (None where the paper reports none).
+    paper_literace: Optional[float]
+    paper_full: Optional[float]
+
+
+def _profiled_run(program, sampler_name: str, log_sync: bool,
+                  cost_model: CostModel, seed: int):
+    harness = ProfilingHarness(
+        make_sampler(sampler_name),
+        cost_model=cost_model,
+        tracker=TimestampTracker(seed=seed),
+        log_sync=log_sync,
+        seed=seed,
+    )
+    executor = Executor(program, scheduler=RandomInterleaver(seed),
+                        cost_model=cost_model, harness=harness)
+    run = executor.run()
+    return run, harness.log
+
+
+def _mb_per_s(log_bytes: int, clock: int, cost_model: CostModel) -> float:
+    seconds = clock / cost_model.cycles_per_second
+    return log_bytes / 1e6 / seconds if seconds > 0 else 0.0
+
+
+def run_overhead_study(
+    benchmarks: Sequence[str] = None,
+    seeds: Iterable[int] = (1,),
+    scale: float = 1.0,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> List[OverheadRow]:
+    """Measure all five configurations for each benchmark."""
+    if benchmarks is None:
+        benchmarks = workloads.overhead_eval_names()
+    rows: List[OverheadRow] = []
+    for name in benchmarks:
+        spec = workloads.get(name)
+        acc = {key: 0.0 for key in (
+            "base_s", "disp", "sync", "lite", "full",
+            "lite_mbps", "full_mbps", "f_disp", "f_sync", "f_mem",
+        )}
+        n = 0
+        for seed in seeds:
+            program = spec.build(seed=seed, scale=scale)
+            base = run_baseline(program, seed=seed, cost_model=cost_model)
+            base_time = base.baseline_time
+
+            disp_run, _ = _profiled_run(program, "Never", False,
+                                        cost_model, seed)
+            sync_run, _ = _profiled_run(program, "Never", True,
+                                        cost_model, seed)
+            lite_run, lite_log = _profiled_run(program, "TL-Ad", True,
+                                               cost_model, seed)
+            full_run, full_log = _profiled_run(program, "Full", True,
+                                               cost_model, seed)
+
+            acc["base_s"] += base_time / cost_model.cycles_per_second
+            acc["disp"] += disp_run.clock / base_time
+            acc["sync"] += sync_run.clock / base_time
+            acc["lite"] += lite_run.clock / base_time
+            acc["full"] += full_run.clock / base_time
+            acc["lite_mbps"] += _mb_per_s(encoded_size(lite_log),
+                                          lite_run.clock, cost_model)
+            acc["full_mbps"] += _mb_per_s(encoded_size(full_log),
+                                          full_run.clock, cost_model)
+            acc["f_disp"] += lite_run.dispatch_cycles / base_time
+            acc["f_sync"] += lite_run.sync_log_cycles / base_time
+            acc["f_mem"] += lite_run.memory_log_cycles / base_time
+            n += 1
+        rows.append(OverheadRow(
+            benchmark=name,
+            title=spec.title,
+            baseline_seconds=acc["base_s"] / n,
+            dispatch_only_slowdown=acc["disp"] / n,
+            sync_logging_slowdown=acc["sync"] / n,
+            literace_slowdown=acc["lite"] / n,
+            full_logging_slowdown=acc["full"] / n,
+            literace_mb_per_s=acc["lite_mbps"] / n,
+            full_mb_per_s=acc["full_mbps"] / n,
+            frac_dispatch=acc["f_disp"] / n,
+            frac_sync_log=acc["f_sync"] / n,
+            frac_memory_log=acc["f_mem"] / n,
+            paper_literace=spec.paper_literace_slowdown,
+            paper_full=spec.paper_full_slowdown,
+        ))
+    return rows

@@ -1,0 +1,70 @@
+"""Plain-text rendering of paper-style tables and figures.
+
+Every experiment module renders through these helpers so that the
+regenerated artifacts look alike: fixed-width columns, a rule under the
+header, and (where the paper reports numbers) a paper-reference column so
+reproduction quality is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_percent", "format_slowdown", "bar_chart"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    if value != value:  # NaN
+        return "-"
+    return f"{100 * value:.{digits}f}%"
+
+
+def format_slowdown(value: float) -> str:
+    if value != value:
+        return "-"
+    return f"{value:.2f}x"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """Render rows as a fixed-width text table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, unit: str = "",
+              title: Optional[str] = None) -> str:
+    """A horizontal ASCII bar chart (for the figure experiments)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max((v for v in values if v == v), default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in zip(labels, values):
+        if value != value:
+            bar, shown = "", "-"
+        else:
+            bar = "#" * (round(width * value / peak) if peak else 0)
+            shown = f"{value:.2f}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar} {shown}")
+    return "\n".join(lines)

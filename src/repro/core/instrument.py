@@ -1,0 +1,362 @@
+"""The instrumentation pass: Figure 3 of the paper, for TIR instead of x86.
+
+LiteRace statically rewrites each function into
+
+* an **instrumented** copy that logs all memory operations and all
+  synchronization operations,
+* an **uninstrumented** copy that logs only synchronization operations, and
+* a **dispatch check** at function entry that picks a copy using the
+  per-thread sampling state.
+
+:func:`instrument` performs the same transformation on a TIR program.  The
+clones are real objects: each instruction in a clone is a structural copy
+carrying the *same program counter* as its original, so a race detected
+through either copy groups under the same static race.  At run time the
+executor consults the dispatch harness at every call and interprets the
+chosen clone.
+
+:func:`split_loops` implements §7 (future work): functions dominated by
+high-trip-count loops sample poorly at function granularity because one
+dispatch decision covers millions of iterations.  Splitting extracts hot
+loop bodies into synthetic functions so the dispatch check (and therefore
+the adaptive back-off) applies per chunk of iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..tir import ops
+from ..tir.addr import AddrExpr, Indexed, Param
+from ..tir.ops import Instr
+from ..tir.program import Function, Program
+
+__all__ = [
+    "FunctionVersions",
+    "InstrumentedProgram",
+    "instrument",
+    "split_loops",
+    "profile_loops",
+    "split_hot_loops",
+    "clone_function",
+]
+
+
+def _clone_instr(instr: Instr) -> Instr:
+    """Structurally copy one instruction, preserving its program counter."""
+    if isinstance(instr, ops.Read):
+        copy = ops.Read(instr.addr)
+    elif isinstance(instr, ops.Write):
+        copy = ops.Write(instr.addr)
+    elif isinstance(instr, ops.Compute):
+        copy = ops.Compute(instr.n)
+    elif isinstance(instr, ops.Io):
+        copy = ops.Io(instr.duration)
+    elif isinstance(instr, ops.Lock):
+        copy = ops.Lock(instr.var)
+    elif isinstance(instr, ops.Unlock):
+        copy = ops.Unlock(instr.var)
+    elif isinstance(instr, ops.Wait):
+        copy = ops.Wait(instr.var, instr.consume)
+    elif isinstance(instr, ops.Notify):
+        copy = ops.Notify(instr.var)
+    elif isinstance(instr, ops.Fork):
+        copy = ops.Fork(instr.func, instr.args, instr.tid_slot)
+    elif isinstance(instr, ops.Join):
+        copy = ops.Join(instr.tid_slot)
+    elif isinstance(instr, ops.AtomicRMW):
+        copy = ops.AtomicRMW(instr.addr)
+    elif isinstance(instr, ops.Alloc):
+        copy = ops.Alloc(instr.size, instr.slot)
+    elif isinstance(instr, ops.Free):
+        copy = ops.Free(instr.slot)
+    elif isinstance(instr, ops.Call):
+        copy = ops.Call(instr.func, instr.args)
+    elif isinstance(instr, ops.Loop):
+        copy = ops.Loop(instr.count, tuple(_clone_instr(i) for i in instr.body))
+    else:  # pragma: no cover - exhaustive over the instruction set
+        raise TypeError(f"unknown instruction {instr!r}")
+    copy.pc = instr.pc
+    return copy
+
+
+def clone_function(func: Function, suffix: str) -> Function:
+    """A structural copy of ``func`` named ``func.name + suffix``.
+
+    PCs are preserved so dynamic events from the clone attribute to the
+    original instructions.
+    """
+    return Function(
+        name=func.name + suffix,
+        body=tuple(_clone_instr(instr) for instr in func.body),
+        num_params=func.num_params,
+        num_slots=func.num_slots,
+    )
+
+
+@dataclass
+class FunctionVersions:
+    """The two copies produced for one original function (Figure 3)."""
+
+    original: Function
+    #: Logs memory operations and synchronization operations.
+    instrumented: Function
+    #: Logs only synchronization operations.
+    uninstrumented: Function
+
+
+class InstrumentedProgram:
+    """A program after the LiteRace rewriting pass.
+
+    ``program`` remains the executable artifact (the executor picks the
+    logging behaviour per activation via the dispatch harness, which is
+    semantically identical to branching to a clone); ``versions`` holds the
+    materialized clones for inspection and size accounting.
+    """
+
+    def __init__(self, program: Program,
+                 versions: Dict[str, FunctionVersions]):
+        self.program = program
+        self.versions = versions
+
+    @property
+    def num_dispatch_sites(self) -> int:
+        """One dispatch check is inserted per original function (§3.3)."""
+        return len(self.versions)
+
+    @property
+    def original_static_size(self) -> int:
+        return sum(v.original.static_size for v in self.versions.values())
+
+    @property
+    def rewritten_static_size(self) -> int:
+        """Static size after rewriting: both clones plus dispatch stubs.
+
+        Mirrors the binary-size growth of cloning every function; the
+        dispatch stub counts as one unit per function.
+        """
+        return sum(
+            v.instrumented.static_size + v.uninstrumented.static_size + 1
+            for v in self.versions.values()
+        )
+
+
+def instrument(program: Program) -> InstrumentedProgram:
+    """Apply the LiteRace rewriting of Figure 3 to ``program``."""
+    versions: Dict[str, FunctionVersions] = {}
+    for name, func in program.functions.items():
+        versions[name] = FunctionVersions(
+            original=func,
+            instrumented=clone_function(func, "$instr"),
+            uninstrumented=clone_function(func, "$uninstr"),
+        )
+    return InstrumentedProgram(program, versions)
+
+
+# ----------------------------------------------------------------------
+# §7: loop-granularity sampling
+# ----------------------------------------------------------------------
+def _rewrite_operand(operand, depth_from_split: int, extracted: List[AddrExpr]):
+    """Rewrite an operand for extraction into a synthetic loop function.
+
+    Operands that reference the split loop's induction variable (an
+    ``Indexed`` whose depth reaches exactly the split loop) become ``Param``
+    references; the original expression is appended to ``extracted`` and
+    will be evaluated at the call site, where the loop index is in scope.
+    Inner-loop references (depth smaller than the split distance) are kept.
+    References *beyond* the split loop cannot be preserved and abort the
+    split.
+    """
+    if isinstance(operand, Indexed):
+        if not isinstance(operand.base, (int, Param)):
+            raise _Unsplittable("nested address expression base")
+        if operand.depth == depth_from_split:
+            # The call site passes the chunk's base address; inside the
+            # helper the same stride walks the helper's chunk loop, which
+            # sits at the same nesting distance as the split loop did.
+            extracted.append(operand)
+            return Indexed(Param(len(extracted) - 1), operand.stride,
+                           operand.depth)
+        if operand.depth > depth_from_split:
+            raise _Unsplittable("operand references a loop outside the split")
+        inner_base = _rewrite_operand(operand.base, depth_from_split,
+                                      extracted)
+        return Indexed(inner_base, operand.stride, operand.depth)
+    if isinstance(operand, Param):
+        # The enclosing function's parameter is not visible in the synthetic
+        # function; pass its value through.
+        extracted.append(operand)
+        return Param(len(extracted) - 1)
+    return operand
+
+
+class _Unsplittable(Exception):
+    """This loop cannot be extracted into a synthetic function."""
+
+
+def _rewrite_body(body: Tuple[Instr, ...], depth: int,
+                  extracted: List[AddrExpr]) -> Tuple[Instr, ...]:
+    rewritten: List[Instr] = []
+    for instr in body:
+        if isinstance(instr, (ops.Read, ops.Write, ops.AtomicRMW)):
+            attr = "addr"
+        elif isinstance(instr, (ops.Lock, ops.Unlock, ops.Wait, ops.Notify)):
+            attr = "var"
+        else:
+            attr = None
+        copy = _clone_instr(instr)
+        if attr is not None:
+            setattr(copy, attr,
+                    _rewrite_operand(getattr(instr, attr), depth, extracted))
+        elif isinstance(instr, ops.Loop):
+            if not isinstance(instr.count, int):
+                raise _Unsplittable("inner loop with dynamic trip count")
+            copy = ops.Loop(
+                instr.count, _rewrite_body(instr.body, depth + 1, extracted)
+            )
+            copy.pc = instr.pc
+        elif isinstance(instr, (ops.Alloc, ops.Free, ops.Fork, ops.Join,
+                                ops.Call)):
+            # Slots are frame-local and calls may pass Params; extraction
+            # would change their meaning.
+            raise _Unsplittable(f"{type(instr).__name__} inside split loop")
+        rewritten.append(copy)
+    return tuple(rewritten)
+
+
+def split_loops(program: Program, min_trip_count: int = 1000,
+                chunk: int = 100, only_pcs=None) -> Program:
+    """Rewrite high-trip-count loops for per-chunk dispatch (§7).
+
+    Every statically-counted loop with ``count >= min_trip_count`` whose
+    body is extractable becomes a loop over calls to a synthetic function
+    executing ``chunk`` iterations, so the sampler's back-off applies inside
+    a single invocation of the enclosing function.  Loops that cannot be
+    extracted (frame-local state, dynamic trip counts, references to outer
+    loops, or a trip count not divisible by ``chunk``) are left untouched.
+
+    Returns a new finalized :class:`Program`; the input is not modified.
+    """
+    if min_trip_count < 1 or chunk < 1:
+        raise ValueError("min_trip_count and chunk must be >= 1")
+    new_functions: List[Function] = []
+    synthetic: List[Function] = []
+    counter = [0]
+
+    def transform_block(owner: str, body: Tuple[Instr, ...]) -> Tuple[Instr, ...]:
+        out: List[Instr] = []
+        for instr in body:
+            if (
+                isinstance(instr, ops.Loop)
+                and isinstance(instr.count, int)
+                and instr.count >= min_trip_count
+                and instr.count % chunk == 0
+                and (only_pcs is None or instr.pc in only_pcs)
+            ):
+                extracted: List[AddrExpr] = []
+                try:
+                    inner = _rewrite_body(instr.body, 0, extracted)
+                except _Unsplittable:
+                    out.append(_clone_instr(instr))
+                    continue
+                counter[0] += 1
+                helper_name = f"{owner}$loop{counter[0]}"
+                helper_body = ops.Loop(chunk, inner)
+                synthetic.append(Function(
+                    name=helper_name,
+                    body=(helper_body,),
+                    num_params=len(extracted),
+                    num_slots=0,
+                ))
+                # Extracted operands are evaluated per call in the *outer*
+                # loop, whose induction variable now counts chunks; the
+                # stride is scaled so each chunk starts where the previous
+                # one ended.
+                call_args = tuple(
+                    Indexed(e.base, e.stride * chunk, 0)
+                    if isinstance(e, Indexed) else e
+                    for e in extracted
+                )
+                outer = ops.Loop(instr.count // chunk,
+                                 (ops.Call(helper_name, call_args),))
+                out.append(outer)
+            elif isinstance(instr, ops.Loop):
+                copy = ops.Loop(instr.count,
+                                transform_block(owner, instr.body))
+                out.append(copy)
+            else:
+                out.append(_clone_instr(instr))
+        return tuple(out)
+
+    for name, func in program.functions.items():
+        new_functions.append(Function(
+            name=name,
+            body=transform_block(name, func.body),
+            num_params=func.num_params,
+            num_slots=func.num_slots,
+        ))
+    new_functions.extend(synthetic)
+
+    # Cloned instructions still carry their *original* PCs at this point;
+    # record the mapping before Program() re-finalizes, then translate the
+    # planted-race ground truth so it survives the rewrite.
+    old_pc_to_instr: Dict[int, Instr] = {}
+    for func in new_functions:
+        for instr in func.instructions():
+            if instr.pc >= 0 and instr.pc not in old_pc_to_instr:
+                old_pc_to_instr[instr.pc] = instr
+
+    result = Program(new_functions, entry=program.entry,
+                     name=f"{program.name}+loopsplit")
+    translated = []
+    for race in program.planted_races:
+        keys = []
+        for first, second in race.keys:
+            if first in old_pc_to_instr and second in old_pc_to_instr:
+                low, high = sorted((old_pc_to_instr[first].pc,
+                                    old_pc_to_instr[second].pc))
+                keys.append((low, high))
+        translated.append(type(race)(name=race.name, keys=tuple(keys),
+                                     expect_rare=race.expect_rare))
+    result.planted_races = tuple(translated)
+    return result
+
+
+def profile_loops(program: Program, seed: int = 0,
+                  scheduler=None) -> Dict[int, int]:
+    """§7's offline profiling pass: dynamic iteration count per static loop.
+
+    Runs ``program`` uninstrumented once and returns ``{loop pc: total
+    iterations executed}``.  Feed the result to :func:`split_hot_loops`.
+    """
+    from ..runtime.executor import Executor
+    from ..runtime.scheduler import RandomInterleaver
+
+    executor = Executor(
+        program,
+        scheduler=scheduler or RandomInterleaver(seed),
+    )
+    return dict(executor.run().loop_iterations)
+
+
+def split_hot_loops(program: Program, profile: Dict[int, int],
+                    hot_iterations: int = 100_000,
+                    chunk: int = 100) -> Program:
+    """Profile-guided loop splitting (§7, both sentences).
+
+    Where :func:`split_loops` keys on *static* trip counts,
+    this variant uses the measured ``profile`` from :func:`profile_loops`:
+    a loop is split when its total dynamic iterations exceed
+    ``hot_iterations``, regardless of its per-entry trip count — which is
+    what identifies the loops that actually dominate a run.  The static
+    split machinery is reused, so the same extractability rules apply.
+    """
+    if hot_iterations < 1:
+        raise ValueError("hot_iterations must be >= 1")
+    hot_pcs = {pc for pc, iterations in profile.items()
+               if iterations >= hot_iterations}
+    if not hot_pcs:
+        return program
+    return split_loops(program, min_trip_count=chunk, chunk=chunk,
+                       only_pcs=hot_pcs)

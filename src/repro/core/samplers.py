@@ -1,0 +1,364 @@
+"""The samplers of Table 3: LiteRace's thread-local adaptive bursty sampler
+and the alternatives it is evaluated against.
+
+A *sampler* is a policy; calling :meth:`Sampler.make_state` yields the
+mutable per-run state consulted by the dispatch check at every function
+entry.  ``should_sample(tid, func) -> bool`` decides which copy of the
+function runs: ``True`` selects the instrumented copy (memory accesses are
+logged), ``False`` the uninstrumented copy (only synchronization is logged).
+
+The bursty samplers follow SWAT's structure (§3.4): when a code region is
+chosen for sampling, it is sampled for ``burst_length`` *consecutive*
+executions; between bursts, a gap of unsampled executions realizes the
+current sampling rate.  Adaptive samplers decrease the rate after each
+completed burst until it reaches a floor; LiteRace's key extension is
+keeping this state **per thread** as well as per function, so a region that
+is hot globally is still treated as cold the first time each new thread
+executes it.
+
+Paper's Table 3, reproduced by ``repro.experiments.table3``:
+
+================  =============================================================
+TL-Ad             adaptive back-off per function / per thread
+                  (100%, 10%, 1%, 0.1%); bursty
+TL-Fx             fixed 5% per function / per thread; bursty
+G-Ad              adaptive back-off per function globally
+                  (100%, 50%, 25%, ..., 0.1%); bursty
+G-Fx              fixed 10% per function globally; bursty
+Rnd10 / Rnd25     random 10% / 25% of dynamic calls, not bursty
+UCP               "un-cold region": first 10 calls per function per thread
+                  are NOT sampled, all remaining calls are
+================  =============================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
+
+__all__ = [
+    "Sampler",
+    "SamplerState",
+    "BurstySampler",
+    "RandomSampler",
+    "UnColdRegionSampler",
+    "FullSampler",
+    "NeverSampler",
+    "thread_local_adaptive",
+    "thread_local_fixed",
+    "global_adaptive",
+    "global_fixed",
+    "random_sampler",
+    "un_cold_region",
+    "make_sampler",
+    "SAMPLER_ORDER",
+    "BURST_LENGTH",
+    "TL_AD_SCHEDULE",
+    "G_AD_SCHEDULE",
+]
+
+#: Consecutive sampled executions per burst (§5.2: "ten consecutive
+#: executions").
+BURST_LENGTH = 10
+
+#: TL-Ad back-off schedule (Table 3): 100%, 10%, 1%, floor 0.1%.
+TL_AD_SCHEDULE: Tuple[float, ...] = (1.0, 0.1, 0.01, 0.001)
+
+#: G-Ad back-off schedule (Table 3): 100%, 50%, 25%, ... halving to a 0.1%
+#: floor.
+G_AD_SCHEDULE: Tuple[float, ...] = (
+    1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625,
+    0.0078125, 0.00390625, 0.001953125, 0.001,
+)
+
+
+class SamplerState:
+    """Mutable per-run dispatch state.  Subclasses implement the decision."""
+
+    #: Cycles the dispatch check costs at each function entry (§4.1's
+    #: "8 instructions with 3 memory references and 1 branch").
+    dispatch_cost = 8
+
+    def should_sample(self, tid: int, func: str) -> bool:
+        raise NotImplementedError
+
+
+class Sampler:
+    """A sampling policy: immutable description plus a state factory."""
+
+    def __init__(self, short_name: str, description: str,
+                 state_factory: Callable[[int], SamplerState]):
+        self.short_name = short_name
+        self.description = description
+        self._state_factory = state_factory
+
+    def make_state(self, seed: int = 0) -> SamplerState:
+        """Fresh per-run dispatch state (seed matters for random samplers)."""
+        return self._state_factory(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sampler({self.short_name!r})"
+
+
+# ----------------------------------------------------------------------
+# Bursty samplers (TL-Ad, TL-Fx, G-Ad, G-Fx)
+# ----------------------------------------------------------------------
+class _BurstRecord:
+    """Counters for one sampling key — the thread-local buffer of §4.1.
+
+    ``bursts_completed`` plays the role of the paper's *frequency counter*
+    (it determines the current sampling rate); ``burst_remaining`` /
+    ``gap_remaining`` realize the *sampling counter* (when to sample next).
+    """
+
+    __slots__ = ("burst_remaining", "gap_remaining", "bursts_completed")
+
+    def __init__(self, burst_length: int):
+        self.burst_remaining = burst_length  # start sampling immediately
+        self.gap_remaining = 0
+        self.bursts_completed = 0
+
+
+def _gap_for_rate(rate: float, burst_length: int,
+                  rng: Optional[random.Random] = None,
+                  jitter: float = 0.25) -> int:
+    """Unsampled executions between bursts so that sampled/total ≈ rate.
+
+    The gap is jittered by ±``jitter`` (seeded, reproducible).  Without
+    jitter the sampling pattern is exactly periodic, and loop trip counts
+    that happen to be ≡ 0 (mod period) systematically align every thread's
+    post-loop code with a burst — a sampling-bias artifact profilers avoid
+    by randomizing the next-sample countdown (cf. Arnold & Ryder).
+    """
+    if rate >= 1.0:
+        return 0
+    gap = burst_length * (1.0 - rate) / rate
+    if rng is not None and jitter > 0:
+        gap *= 1.0 + rng.uniform(-jitter, jitter)
+    return max(1, round(gap))
+
+
+class BurstySampler(SamplerState):
+    """Shared machinery for the four bursty samplers.
+
+    ``thread_local=True`` keys state by (thread, function); ``False`` keys
+    by function alone (the SWAT-style global sampler the paper compares
+    against).  ``schedule`` maps completed-burst count to a sampling rate;
+    fixed-rate samplers use a single-element schedule.
+    """
+
+    def __init__(self, schedule: Sequence[float], thread_local: bool,
+                 burst_length: int = BURST_LENGTH, seed: int = 0,
+                 jitter: float = 0.25):
+        if not schedule:
+            raise ValueError("schedule must not be empty")
+        if any(not 0.0 < r <= 1.0 for r in schedule):
+            raise ValueError("sampling rates must be in (0, 1]")
+        self.schedule = tuple(schedule)
+        self.thread_local = thread_local
+        self.burst_length = burst_length
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._records: Dict[Hashable, _BurstRecord] = {}
+
+    def _key(self, tid: int, func: str) -> Hashable:
+        return (tid, func) if self.thread_local else func
+
+    def _rate_after(self, bursts_completed: int) -> float:
+        index = min(bursts_completed, len(self.schedule) - 1)
+        return self.schedule[index]
+
+    def current_rate(self, tid: int, func: str) -> float:
+        """The sampling rate currently in force for this key (for tests)."""
+        record = self._records.get(self._key(tid, func))
+        if record is None:
+            return self.schedule[0]
+        return self._rate_after(record.bursts_completed)
+
+    def should_sample(self, tid: int, func: str) -> bool:
+        key = self._key(tid, func)
+        record = self._records.get(key)
+        if record is None:
+            record = _BurstRecord(self.burst_length)
+            self._records[key] = record
+        if record.burst_remaining > 0:
+            record.burst_remaining -= 1
+            if record.burst_remaining == 0:
+                record.bursts_completed += 1
+                rate = self._rate_after(record.bursts_completed)
+                gap = _gap_for_rate(rate, self.burst_length, self._rng,
+                                    self.jitter)
+                if gap == 0:
+                    record.burst_remaining = self.burst_length
+                else:
+                    record.gap_remaining = gap
+            return True
+        record.gap_remaining -= 1
+        if record.gap_remaining <= 0:
+            record.burst_remaining = self.burst_length
+        return False
+
+
+# ----------------------------------------------------------------------
+# Non-bursty samplers
+# ----------------------------------------------------------------------
+class RandomSampler(SamplerState):
+    """Each dynamic call is sampled independently with probability ``rate``."""
+
+    def __init__(self, rate: float, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+        self._rng = random.Random(seed)
+
+    def should_sample(self, tid: int, func: str) -> bool:
+        return self._rng.random() < self.rate
+
+
+class UnColdRegionSampler(SamplerState):
+    """Log everything *except* the cold region (§5.2's UCP control).
+
+    The first ``skip`` calls of each function per thread are NOT sampled;
+    every later call is.  Its poor detection rate despite logging ~99% of
+    memory operations is the paper's direct validation of the cold-region
+    hypothesis.
+    """
+
+    def __init__(self, skip: int = 10):
+        self.skip = skip
+        self._counts: Dict[Tuple[int, str], int] = {}
+
+    def should_sample(self, tid: int, func: str) -> bool:
+        key = (tid, func)
+        seen = self._counts.get(key, 0) + 1
+        self._counts[key] = seen
+        return seen > self.skip
+
+
+class FullSampler(SamplerState):
+    """Always instrumented — the full-logging configuration of Table 5.
+
+    The paper's full-logging build "did not have the overhead for any
+    dispatch checks or cloned code", hence ``dispatch_cost = 0``.
+    """
+
+    dispatch_cost = 0
+
+    def should_sample(self, tid: int, func: str) -> bool:
+        return True
+
+
+class NeverSampler(SamplerState):
+    """Never instrumented, but the dispatch check still runs.
+
+    This is Figure 6's "dispatch check only" configuration.
+    """
+
+    def should_sample(self, tid: int, func: str) -> bool:
+        return False
+
+
+# ----------------------------------------------------------------------
+# Named constructors (Table 3)
+# ----------------------------------------------------------------------
+def thread_local_adaptive(schedule: Sequence[float] = TL_AD_SCHEDULE,
+                          burst_length: int = BURST_LENGTH) -> Sampler:
+    """TL-Ad: LiteRace's sampler — per-thread adaptive bursty back-off."""
+    return Sampler(
+        "TL-Ad",
+        "Adaptive back-off per function / per thread "
+        "(100%, 10%, 1%, 0.1%); bursty",
+        lambda seed: BurstySampler(schedule, thread_local=True,
+                                   burst_length=burst_length, seed=seed),
+    )
+
+
+def thread_local_fixed(rate: float = 0.05,
+                       burst_length: int = BURST_LENGTH) -> Sampler:
+    """TL-Fx: fixed-rate per-thread bursty sampler (default 5%)."""
+    return Sampler(
+        "TL-Fx",
+        f"Fixed {rate:.0%} per function / per thread; bursty",
+        lambda seed: BurstySampler((rate,), thread_local=True,
+                                   burst_length=burst_length, seed=seed),
+    )
+
+
+def global_adaptive(schedule: Sequence[float] = G_AD_SCHEDULE,
+                    burst_length: int = BURST_LENGTH) -> Sampler:
+    """G-Ad: SWAT-style global adaptive bursty sampler."""
+    return Sampler(
+        "G-Ad",
+        "Adaptive back-off per function globally "
+        "(100%, 50%, 25%, ..., 0.1%); bursty",
+        lambda seed: BurstySampler(schedule, thread_local=False,
+                                   burst_length=burst_length, seed=seed),
+    )
+
+
+def global_fixed(rate: float = 0.10,
+                 burst_length: int = BURST_LENGTH) -> Sampler:
+    """G-Fx: fixed-rate global bursty sampler (default 10%)."""
+    return Sampler(
+        "G-Fx",
+        f"Fixed {rate:.0%} per function globally; bursty",
+        lambda seed: BurstySampler((rate,), thread_local=False,
+                                   burst_length=burst_length, seed=seed),
+    )
+
+
+def random_sampler(rate: float) -> Sampler:
+    """Rnd: sample each dynamic call independently (not bursty)."""
+    return Sampler(
+        f"Rnd{round(rate * 100)}",
+        f"Random {rate:.0%} of dynamic calls chosen for sampling",
+        lambda seed: RandomSampler(rate, seed),
+    )
+
+
+def un_cold_region(skip: int = 10) -> Sampler:
+    """UCP: log all but the first ``skip`` calls per function per thread."""
+    return Sampler(
+        "UCP",
+        f"First {skip} calls per function / per thread are NOT sampled, "
+        "all remaining calls are sampled",
+        lambda seed: UnColdRegionSampler(skip),
+    )
+
+
+def full_sampler() -> Sampler:
+    """Full logging: every call instrumented, no dispatch checks."""
+    return Sampler("Full", "Log all memory operations (no dispatch checks)",
+                   lambda seed: FullSampler())
+
+
+def never_sampler() -> Sampler:
+    """Dispatch checks only: no call is ever instrumented."""
+    return Sampler("Never", "Dispatch check only; nothing sampled",
+                   lambda seed: NeverSampler())
+
+
+#: Sampler display order used throughout the paper's figures.
+SAMPLER_ORDER = ("TL-Ad", "TL-Fx", "G-Ad", "G-Fx", "Rnd10", "Rnd25", "UCP")
+
+_FACTORIES: Dict[str, Callable[[], Sampler]] = {
+    "TL-Ad": thread_local_adaptive,
+    "TL-Fx": thread_local_fixed,
+    "G-Ad": global_adaptive,
+    "G-Fx": global_fixed,
+    "Rnd10": lambda: random_sampler(0.10),
+    "Rnd25": lambda: random_sampler(0.25),
+    "UCP": un_cold_region,
+    "Full": full_sampler,
+    "Never": never_sampler,
+}
+
+
+def make_sampler(short_name: str) -> Sampler:
+    """Build a sampler by its Table-3 short name (e.g. ``"TL-Ad"``)."""
+    try:
+        return _FACTORIES[short_name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown sampler {short_name!r}; known: {sorted(_FACTORIES)}"
+        ) from None

@@ -1,0 +1,115 @@
+"""Benign-race suppressions.
+
+Table 4's footnote — "some of the data races found could be benign" — is a
+fact of life for race-detection tools: intentional races (statistics
+counters, lossy flags) survive triage and must not be re-reported on every
+run.  Real tools carry suppression files; this module provides the same
+workflow:
+
+* a :class:`Suppression` matches a static race by the *functions* (or exact
+  symbolized locations) containing its two instructions;
+* a :class:`SuppressionList` filters a :class:`~repro.detector.races.RaceReport`
+  into (kept, suppressed) and can be parsed from / serialized to the usual
+  one-rule-per-line text format::
+
+      # intentional stats counters
+      bump_channel_stats <-> bump_channel_stats
+      consumer_lag_flush <-> *
+
+``*`` matches any location.  Matching is order-insensitive, like race keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..detector.races import RaceReport
+from ..tir.program import Program
+
+__all__ = ["Suppression", "SuppressionList"]
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One rule: suppress races between ``first`` and ``second``.
+
+    Each side is a function name or ``"*"``.  A race matches if its two
+    instructions' functions match the two sides in either order.
+    """
+
+    first: str
+    second: str
+    reason: str = ""
+
+    @staticmethod
+    def _side_matches(pattern: str, function: str) -> bool:
+        return pattern == "*" or pattern == function
+
+    def matches(self, func1: str, func2: str) -> bool:
+        return (
+            (self._side_matches(self.first, func1)
+             and self._side_matches(self.second, func2))
+            or (self._side_matches(self.first, func2)
+                and self._side_matches(self.second, func1))
+        )
+
+    def to_line(self) -> str:
+        line = f"{self.first} <-> {self.second}"
+        if self.reason:
+            line += f"  # {self.reason}"
+        return line
+
+
+class SuppressionList:
+    """An ordered collection of suppression rules."""
+
+    def __init__(self, rules: Iterable[Suppression] = ()):
+        self.rules: List[Suppression] = list(rules)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "SuppressionList":
+        """Parse the one-rule-per-line format (see module docstring)."""
+        rules = []
+        for lineno, raw in enumerate(text.splitlines(), 1):
+            line, _, comment = raw.partition("#")
+            line = line.strip()
+            if not line:
+                continue
+            if "<->" not in line:
+                raise ValueError(
+                    f"line {lineno}: expected 'first <-> second', "
+                    f"got {raw!r}"
+                )
+            first, _, second = line.partition("<->")
+            first, second = first.strip(), second.strip()
+            if not first or not second:
+                raise ValueError(f"line {lineno}: empty side in {raw!r}")
+            rules.append(Suppression(first, second, comment.strip()))
+        return cls(rules)
+
+    def to_text(self) -> str:
+        return "\n".join(rule.to_line() for rule in self.rules) + "\n"
+
+    def add(self, rule: Suppression) -> None:
+        self.rules.append(rule)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    # -- filtering ---------------------------------------------------------
+    def split(self, report: RaceReport,
+              program: Program) -> Tuple[RaceReport, RaceReport]:
+        """Partition ``report`` into (kept, suppressed) reports."""
+        kept, suppressed = RaceReport(), RaceReport()
+        for key, count in report.occurrences.items():
+            func1 = program.function_of_pc(key[0])
+            func2 = program.function_of_pc(key[1])
+            target = kept
+            if any(rule.matches(func1, func2) for rule in self.rules):
+                target = suppressed
+            target.occurrences[key] = count
+            target.examples[key] = report.examples[key]
+            target.addresses.add(report.examples[key].addr)
+        return kept, suppressed

@@ -1,0 +1,119 @@
+"""An Eraser-style lockset detector (Savage et al., cited as [38]).
+
+The paper chose happens-before detection for its offline analysis because
+lockset algorithms, while able to *predict* races that did not manifest,
+report false positives and only understand mutual-exclusion locks (§2,
+§4.4).  This comparator implements the classic Eraser state machine so the
+trade-off can be measured on our logs: see
+``tests/test_lockset.py`` and the detector-comparison example.
+
+State machine per address (C(v) is the candidate lockset):
+
+* ``VIRGIN`` → first access moves to ``EXCLUSIVE(first thread)``.
+* ``EXCLUSIVE`` → same-thread accesses stay; another thread's read moves to
+  ``SHARED``, another thread's write to ``SHARED_MODIFIED``; C(v) is
+  initialized to the locks currently held.
+* ``SHARED`` / ``SHARED_MODIFIED`` → C(v) is intersected with held locks; a
+  write in ``SHARED`` moves to ``SHARED_MODIFIED``.  An empty C(v) in
+  ``SHARED_MODIFIED`` reports a race.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, Set
+
+from ..eventlog.events import Event, MemoryEvent, SyncEvent, SyncKind
+from .races import RaceInstance, RaceReport
+
+__all__ = ["LocksetDetector", "AddressLockState"]
+
+
+class _State(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared_modified"
+
+
+class AddressLockState:
+    """Eraser bookkeeping for one address."""
+
+    __slots__ = ("state", "owner", "lockset", "last_pc", "last_tid",
+                 "last_is_write", "reported")
+
+    def __init__(self):
+        self.state = _State.VIRGIN
+        self.owner = -1
+        self.lockset: FrozenSet[int] = frozenset()
+        self.last_pc = -1
+        self.last_tid = -1
+        self.last_is_write = False
+        self.reported = False
+
+
+class LocksetDetector:
+    """Streaming Eraser detector; feed events, then read ``report``."""
+
+    def __init__(self):
+        self.report = RaceReport()
+        self._held: Dict[int, Set[int]] = {}
+        self._addresses: Dict[int, AddressLockState] = {}
+
+    def _held_by(self, tid: int) -> Set[int]:
+        return self._held.setdefault(tid, set())
+
+    def feed(self, event: Event) -> None:
+        if isinstance(event, SyncEvent):
+            if event.var[0] != "mutex":
+                return  # locksets only understand mutual exclusion
+            _, lock_id = event.var
+            if event.kind is SyncKind.LOCK:
+                self._held_by(event.tid).add(lock_id)
+            elif event.kind is SyncKind.UNLOCK:
+                self._held_by(event.tid).discard(lock_id)
+            return
+        self._on_memory(event)
+
+    def feed_all(self, events: Iterable[Event]) -> "LocksetDetector":
+        for event in events:
+            self.feed(event)
+        return self
+
+    def _on_memory(self, event: MemoryEvent) -> None:
+        state = self._addresses.get(event.addr)
+        if state is None:
+            state = AddressLockState()
+            self._addresses[event.addr] = state
+        held = frozenset(self._held_by(event.tid))
+
+        if state.state is _State.VIRGIN:
+            state.state = _State.EXCLUSIVE
+            state.owner = event.tid
+        elif state.state is _State.EXCLUSIVE:
+            if event.tid != state.owner:
+                state.state = (_State.SHARED_MODIFIED if event.is_write
+                               else _State.SHARED)
+                state.lockset = held
+        else:
+            state.lockset = state.lockset & held
+            if event.is_write and state.state is _State.SHARED:
+                state.state = _State.SHARED_MODIFIED
+        if (
+            state.state is _State.SHARED_MODIFIED
+            and not state.lockset
+            and not state.reported
+        ):
+            state.reported = True
+            self.report.record(RaceInstance(
+                addr=event.addr,
+                first_tid=state.last_tid,
+                second_tid=event.tid,
+                first_pc=state.last_pc,
+                second_pc=event.pc,
+                first_is_write=state.last_is_write,
+                second_is_write=event.is_write,
+            ))
+        state.last_pc = event.pc
+        state.last_tid = event.tid
+        state.last_is_write = event.is_write

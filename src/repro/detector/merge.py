@@ -1,0 +1,126 @@
+"""Reconstructing a processing order from per-thread logs (§4.2).
+
+The profiler writes one log per thread; the interleaving between threads is
+not recorded.  What *is* recorded is a logical timestamp on every sync
+event, drawn from one of 128 hashed global counters, with the guarantee that
+if ``a`` happens-before ``b`` and both operate on the same SyncVar then
+``a``'s timestamp is smaller (§4.2).
+
+The offline detector therefore replays per-thread streams under one
+constraint: a sync event on var *v* may only be consumed when its timestamp
+is the smallest not-yet-consumed timestamp on *v*.  Memory events (and sync
+events whose var appears in no other thread) are never blocked.
+
+When the instrumentation fails to stamp timestamps atomically with the
+operation — the hazard §4.2 describes for user-level compare-and-exchange
+locks — the recorded timestamps can contradict the actual order.  Replay
+then wedges; like a real tool, we break the tie by forcing the blocked sync
+event with the globally smallest timestamp and count the *inconsistency*.
+Each forced event corresponds to a lost or inverted happens-before edge and
+is what produces the "hundreds of false data races" the paper reports for
+the non-atomic configuration.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..eventlog.events import Event, MemoryEvent, SyncEvent, SyncVar
+from ..eventlog.log import EventLog
+
+__all__ = ["MergeResult", "merge_thread_logs"]
+
+
+@dataclass
+class MergeResult:
+    """A reconstructed global order plus replay diagnostics."""
+
+    events: List[Event] = field(default_factory=list)
+    #: Sync events that had to be forced out of timestamp order.
+    inconsistencies: int = 0
+
+
+class _VarQueue:
+    """Min-heap of unconsumed timestamps for one SyncVar, with lazy deletes."""
+
+    __slots__ = ("heap", "removed")
+
+    def __init__(self):
+        self.heap: List[int] = []
+        self.removed: Dict[int, int] = {}
+
+    def push(self, ts: int) -> None:
+        heapq.heappush(self.heap, ts)
+
+    def peek_min(self) -> int:
+        heap, removed = self.heap, self.removed
+        while heap and removed.get(heap[0], 0) > 0:
+            removed[heap[0]] -= 1
+            heapq.heappop(heap)
+        return heap[0]
+
+    def consume(self, ts: int) -> None:
+        if self.heap and self.heap[0] == ts:
+            heapq.heappop(self.heap)
+        else:
+            self.removed[ts] = self.removed.get(ts, 0) + 1
+
+
+def merge_thread_logs(log: EventLog) -> MergeResult:
+    """Reconstruct a global processing order from ``log``'s per-thread streams."""
+    streams = log.per_thread()
+    cursors: Dict[int, int] = {tid: 0 for tid in streams}
+    var_queues: Dict[SyncVar, _VarQueue] = {}
+    for events in streams.values():
+        for event in events:
+            if isinstance(event, SyncEvent):
+                var_queues.setdefault(event.var, _VarQueue()).push(event.timestamp)
+
+    result = MergeResult()
+    remaining = sum(len(events) for events in streams.values())
+    tids = sorted(streams)
+
+    def emit(tid: int, event: Event) -> None:
+        result.events.append(event)
+        cursors[tid] += 1
+
+    while remaining:
+        progressed = False
+        for tid in tids:
+            events = streams[tid]
+            while cursors[tid] < len(events):
+                event = events[cursors[tid]]
+                if isinstance(event, MemoryEvent):
+                    emit(tid, event)
+                    remaining -= 1
+                    progressed = True
+                    continue
+                queue = var_queues[event.var]
+                if event.timestamp == queue.peek_min():
+                    queue.consume(event.timestamp)
+                    emit(tid, event)
+                    remaining -= 1
+                    progressed = True
+                    continue
+                break  # this thread is blocked on a sync event
+        if progressed:
+            continue
+        # Wedged: timestamps are inconsistent with any valid interleaving.
+        # Force the blocked sync event with the smallest timestamp.
+        best_tid = -1
+        best_ts = None
+        for tid in tids:
+            if cursors[tid] < len(streams[tid]):
+                event = streams[tid][cursors[tid]]
+                assert isinstance(event, SyncEvent)
+                if best_ts is None or event.timestamp < best_ts:
+                    best_ts = event.timestamp
+                    best_tid = tid
+        event = streams[best_tid][cursors[best_tid]]
+        var_queues[event.var].consume(event.timestamp)
+        emit(best_tid, event)
+        remaining -= 1
+        result.inconsistencies += 1
+    return result

@@ -1,0 +1,66 @@
+"""Online race detection (§4.4, §7).
+
+The paper's implementation writes logs to disk and analyzes them offline,
+but explicitly anticipates "an online detector that can avoid runtime
+slowdown by using an idle core in a many-core processor".  This module
+provides that consumer: an :class:`OnlineRaceDetector` plugs directly into
+the profiling harness as an event sink, analyzes events as they are
+produced, and never retains the log — its memory footprint is the detector
+metadata only.
+
+It also models the spare-core budget: the detector tracks how many analysis
+cycles it consumed, so experiments can check whether one spare core keeps up
+with the profiled application (``keeps_up_with``).
+"""
+
+from __future__ import annotations
+
+from ..eventlog.events import Event, MemoryEvent
+from .hb import HappensBeforeDetector
+from .races import RaceReport
+
+__all__ = ["OnlineRaceDetector"]
+
+#: Analysis cycles per event, in the same units as the runtime cost model.
+#: Sync events are costlier (vector-clock joins) than memory events
+#: (epoch comparisons), mirroring FastTrack-style detectors.
+_MEMORY_ANALYSIS_COST = 25
+_SYNC_ANALYSIS_COST = 120
+
+
+class OnlineRaceDetector:
+    """A streaming event sink performing happens-before analysis."""
+
+    def __init__(self, alloc_as_sync: bool = True):
+        self._detector = HappensBeforeDetector(alloc_as_sync=alloc_as_sync)
+        self.events_consumed = 0
+        self.analysis_cycles = 0
+
+    def feed(self, event: Event) -> None:
+        """Consume one event as it is produced by the profiler."""
+        self.events_consumed += 1
+        if isinstance(event, MemoryEvent):
+            self.analysis_cycles += _MEMORY_ANALYSIS_COST
+        else:
+            self.analysis_cycles += _SYNC_ANALYSIS_COST
+        self._detector.feed(event)
+
+    @property
+    def report(self) -> RaceReport:
+        return self._detector.report
+
+    @property
+    def addresses_tracked(self) -> int:
+        return self._detector.addresses_tracked
+
+    def keeps_up_with(self, application_cycles: int,
+                      spare_cores: int = 1) -> bool:
+        """Would ``spare_cores`` of analysis keep pace with the profiled run?
+
+        True iff the analysis cycles fit within the application's own
+        runtime multiplied by the spare core budget — the condition for the
+        online detector to add no slowdown (§4.4).
+        """
+        if spare_cores < 1:
+            raise ValueError("spare_cores must be >= 1")
+        return self.analysis_cycles <= application_cycles * spare_cores

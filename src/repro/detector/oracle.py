@@ -1,0 +1,111 @@
+"""A complete-history race oracle for testing.
+
+The production detector (:mod:`repro.detector.hb`) keeps FastTrack-style
+*summarized* metadata: the last write and the reads since.  That is what
+real tools do, but it means the set of *reported* PC pairs depends on which
+accesses were logged — a sampled log can surface a true racing pair that
+full logging summarized away (both are real races; they are just grouped
+differently).
+
+For testing we need ground truth that is independent of sampling: this
+oracle keeps **every** access to every address together with the accessing
+thread's full vector clock, and reports **all** unordered conflicting
+pairs.  It is quadratic per address and therefore only suitable for the
+small programs used in tests, where it anchors the paper's central
+guarantee: any race reported from any sampled log must appear in the
+oracle's report of the full log (no false positives, §3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..eventlog.events import Event, MemoryEvent, SyncEvent
+from .races import RaceInstance, RaceReport
+from .vectorclock import VectorClock
+
+__all__ = ["OracleDetector", "oracle_races"]
+
+
+class _Access:
+    __slots__ = ("tid", "pc", "is_write", "clock")
+
+    def __init__(self, tid: int, pc: int, is_write: bool, clock: VectorClock):
+        self.tid = tid
+        self.pc = pc
+        self.is_write = is_write
+        self.clock = clock
+
+
+class OracleDetector:
+    """Exhaustive happens-before detector (testing only)."""
+
+    def __init__(self, alloc_as_sync: bool = True):
+        self.alloc_as_sync = alloc_as_sync
+        self.report = RaceReport()
+        self._thread_vc: Dict[int, VectorClock] = {}
+        self._var_vc: Dict[Tuple[str, int], VectorClock] = {}
+        self._history: Dict[int, List[_Access]] = {}
+
+    def _vc_of(self, tid: int) -> VectorClock:
+        vc = self._thread_vc.get(tid)
+        if vc is None:
+            vc = VectorClock({tid: 1})
+            self._thread_vc[tid] = vc
+        return vc
+
+    def feed(self, event: Event) -> None:
+        if isinstance(event, SyncEvent):
+            from ..eventlog.events import SyncKind
+
+            if not self.alloc_as_sync and event.kind in (
+                SyncKind.ALLOC_PAGE, SyncKind.FREE_PAGE
+            ):
+                return
+            thread_vc = self._vc_of(event.tid)
+            var_vc = self._var_vc.get(event.var)
+            if event.is_acquire and var_vc is not None:
+                thread_vc.join(var_vc)
+            if event.is_release:
+                if var_vc is None:
+                    var_vc = VectorClock()
+                    self._var_vc[event.var] = var_vc
+                var_vc.join(thread_vc)
+                thread_vc.tick(event.tid)
+            return
+        self._on_memory(event)
+
+    def feed_all(self, events: Iterable[Event]) -> "OracleDetector":
+        for event in events:
+            self.feed(event)
+        return self
+
+    def _on_memory(self, event: MemoryEvent) -> None:
+        clock = self._vc_of(event.tid).copy()
+        access = _Access(event.tid, event.pc, event.is_write, clock)
+        history = self._history.setdefault(event.addr, [])
+        for prior in history:
+            if prior.tid == event.tid:
+                continue
+            if not (prior.is_write or access.is_write):
+                continue
+            # prior happened earlier in the stream; it is ordered before the
+            # new access iff its clock is dominated.
+            if prior.clock.leq(access.clock):
+                continue
+            self.report.record(RaceInstance(
+                addr=event.addr,
+                first_tid=prior.tid,
+                second_tid=event.tid,
+                first_pc=prior.pc,
+                second_pc=event.pc,
+                first_is_write=prior.is_write,
+                second_is_write=access.is_write,
+            ))
+        history.append(access)
+
+
+def oracle_races(events: Iterable[Event],
+                 alloc_as_sync: bool = True) -> RaceReport:
+    """Run the exhaustive oracle over ``events``."""
+    return OracleDetector(alloc_as_sync=alloc_as_sync).feed_all(events).report

@@ -1,0 +1,100 @@
+"""Race reports: static races, dynamic occurrence counts, rare/frequent split.
+
+Following §5.3 of the paper, dynamic races are grouped by the pair of
+instructions (program counters) involved; each group is a *static data race*
+and "roughly corresponds to a possible synchronization error in the
+program".  Table 4 further classifies a static race as **rare** if it was
+detected fewer than 3 times per million non-stack memory instructions
+executed, and **frequent** otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["RaceKey", "RaceInstance", "RaceReport", "RARE_PER_MILLION"]
+
+#: Table 4's threshold: fewer than this many detections per million
+#: non-stack memory instructions makes a static race "rare".
+RARE_PER_MILLION = 3.0
+
+#: A static race: the unordered PC pair, stored as (min, max).
+RaceKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RaceInstance:
+    """One dynamic manifestation of a race (kept as an example per key)."""
+
+    addr: int
+    first_tid: int
+    second_tid: int
+    first_pc: int
+    second_pc: int
+    first_is_write: bool
+    second_is_write: bool
+
+    @property
+    def key(self) -> RaceKey:
+        first, second = self.first_pc, self.second_pc
+        return (first, second) if first <= second else (second, first)
+
+
+@dataclass
+class RaceReport:
+    """All races found in one analyzed execution."""
+
+    occurrences: Dict[RaceKey, int] = field(default_factory=dict)
+    examples: Dict[RaceKey, RaceInstance] = field(default_factory=dict)
+    #: Every address on which a race was reported.  Unlike the static-race
+    #: key set — which depends on the order the (summarizing) detector
+    #: processed events, since only the *first* race per address is
+    #: guaranteed to be reported — the racy-address set is stable across
+    #: any happens-before-equivalent processing order.
+    addresses: Set[int] = field(default_factory=set)
+
+    def record(self, instance: RaceInstance) -> None:
+        key = instance.key
+        self.occurrences[key] = self.occurrences.get(key, 0) + 1
+        self.examples.setdefault(key, instance)
+        self.addresses.add(instance.addr)
+
+    @property
+    def static_races(self) -> Set[RaceKey]:
+        return set(self.occurrences)
+
+    @property
+    def num_static(self) -> int:
+        return len(self.occurrences)
+
+    @property
+    def num_dynamic(self) -> int:
+        return sum(self.occurrences.values())
+
+    def classify(self, nonstack_memory_ops: int) -> Tuple[Set[RaceKey], Set[RaceKey]]:
+        """Split static races into (rare, frequent) per Table 4's rule."""
+        rare: Set[RaceKey] = set()
+        frequent: Set[RaceKey] = set()
+        millions = max(nonstack_memory_ops, 1) / 1_000_000.0
+        for key, count in self.occurrences.items():
+            if count / millions < RARE_PER_MILLION:
+                rare.add(key)
+            else:
+                frequent.add(key)
+        return rare, frequent
+
+    def merge(self, other: "RaceReport") -> None:
+        """Fold another report's occurrences into this one."""
+        for key, count in other.occurrences.items():
+            self.occurrences[key] = self.occurrences.get(key, 0) + count
+        for key, example in other.examples.items():
+            self.examples.setdefault(key, example)
+        self.addresses |= other.addresses
+
+    def summary_rows(self) -> List[Tuple[int, int, int]]:
+        """(pc1, pc2, occurrences) rows sorted by descending occurrence."""
+        return sorted(
+            ((k[0], k[1], n) for k, n in self.occurrences.items()),
+            key=lambda row: (-row[2], row[0], row[1]),
+        )

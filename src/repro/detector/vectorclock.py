@@ -1,0 +1,78 @@
+"""Vector clocks: the timestamps behind happens-before race detection.
+
+A vector clock maps thread ids to logical clock values, with absent entries
+meaning zero.  ``a`` happens-before ``b`` iff ``a``'s clock is pointwise
+less-than-or-equal to ``b``'s (and they differ); two events race when
+neither clock dominates the other.
+
+The implementation is a thin mutable dict wrapper: the detector's hot loops
+mutate thread clocks in place and copy only at release edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A mutable map from tid to logical time (missing entries are 0)."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Dict[int, int] = None):
+        self._clocks: Dict[int, int] = dict(clocks) if clocks else {}
+
+    # -- reads -------------------------------------------------------------
+    def get(self, tid: int) -> int:
+        """The clock value for ``tid`` (0 if never advanced)."""
+        return self._clocks.get(tid, 0)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._clocks.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._normalized() == other._normalized()
+
+    def __hash__(self):
+        return hash(frozenset(self._normalized().items()))
+
+    def _normalized(self) -> Dict[int, int]:
+        return {tid: c for tid, c in self._clocks.items() if c != 0}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"t{t}:{c}" for t, c in sorted(self._clocks.items()))
+        return f"VC({inner})"
+
+    # -- ordering ----------------------------------------------------------
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise <=: does every component of self fit under other?"""
+        for tid, clock in self._clocks.items():
+            if clock > other.get(tid):
+                return False
+        return True
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """Strictly happens-before: leq and not equal."""
+        return self.leq(other) and self != other
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        """Neither dominates: the defining condition of a data race."""
+        return not self.leq(other) and not other.leq(self)
+
+    # -- writes ------------------------------------------------------------
+    def tick(self, tid: int) -> None:
+        """Advance ``tid``'s component by one."""
+        self._clocks[tid] = self._clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place pointwise max (the effect of an acquire edge)."""
+        for tid, clock in other._clocks.items():
+            if clock > self._clocks.get(tid, 0):
+                self._clocks[tid] = clock
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clocks)

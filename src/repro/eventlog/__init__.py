@@ -1,0 +1,40 @@
+"""The profiler's event log: event types, in-memory logs, wire encoding."""
+
+from .encode import (
+    MEMORY_EVENT_BYTES,
+    SYNC_EVENT_BYTES,
+    decode_log,
+    encode_log,
+    encoded_size,
+)
+from .events import (
+    ACQUIRE_KINDS,
+    RELEASE_KINDS,
+    Event,
+    MemoryEvent,
+    SyncEvent,
+    SyncKind,
+    SyncVar,
+)
+from .log import EventLog
+from .store import load_log, save_log
+from .writer import StreamingLogWriter
+
+__all__ = [
+    "SyncKind",
+    "SyncVar",
+    "SyncEvent",
+    "MemoryEvent",
+    "Event",
+    "ACQUIRE_KINDS",
+    "RELEASE_KINDS",
+    "EventLog",
+    "save_log",
+    "load_log",
+    "StreamingLogWriter",
+    "encode_log",
+    "decode_log",
+    "encoded_size",
+    "MEMORY_EVENT_BYTES",
+    "SYNC_EVENT_BYTES",
+]

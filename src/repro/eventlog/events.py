@@ -1,0 +1,121 @@
+"""Event types recorded by the LiteRace profiler.
+
+Two kinds of events exist, mirroring §3.2 of the paper:
+
+* :class:`SyncEvent` — *every* synchronization operation, logged by both the
+  instrumented and uninstrumented copy of every function.  Each carries a
+  *SyncVar* (what object was synchronized on, per Table 1) and a logical
+  timestamp that orders operations on the same SyncVar across threads.
+* :class:`MemoryEvent` — a (sampled) data access: address plus program
+  counter.  In the §5.3 comparison methodology every memory access is logged
+  and carries a bitmask saying which of the evaluated samplers would have
+  logged it.
+
+SyncVars are ``(domain, id)`` pairs.  The real tool uses raw object
+addresses (Table 1); we additionally tag the domain (mutex, event, thread,
+atomic target, heap page) so that unrelated objects that happen to share an
+address range can never alias.  Aliasing would only add spurious
+happens-before edges (hiding races, never inventing them), so the tagging is
+a strict precision improvement with identical semantics otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+__all__ = [
+    "SyncKind",
+    "SyncVar",
+    "SyncEvent",
+    "MemoryEvent",
+    "Event",
+    "ACQUIRE_KINDS",
+    "RELEASE_KINDS",
+]
+
+
+class SyncKind(enum.Enum):
+    """What kind of synchronization operation a :class:`SyncEvent` records."""
+
+    LOCK = "lock"
+    UNLOCK = "unlock"
+    WAIT = "wait"
+    NOTIFY = "notify"
+    FORK = "fork"
+    JOIN = "join"
+    THREAD_START = "thread_start"
+    THREAD_EXIT = "thread_exit"
+    ATOMIC = "atomic"
+    ALLOC_PAGE = "alloc_page"
+    FREE_PAGE = "free_page"
+
+
+#: A SyncVar: (domain, identifier).  See module docstring.
+SyncVar = Tuple[str, int]
+
+#: Kinds with *acquire* semantics: the thread's vector clock absorbs the
+#: SyncVar's clock (an incoming happens-before edge).
+ACQUIRE_KINDS = frozenset({
+    SyncKind.LOCK,
+    SyncKind.WAIT,
+    SyncKind.JOIN,
+    SyncKind.THREAD_START,
+    SyncKind.ATOMIC,
+    SyncKind.ALLOC_PAGE,
+    SyncKind.FREE_PAGE,
+})
+
+#: Kinds with *release* semantics: the SyncVar's clock absorbs the thread's
+#: (an outgoing happens-before edge).  Atomic RMW and the allocation events
+#: are both acquire and release because the tool cannot tell which role a
+#: compare-and-exchange plays (§4.2), and allocation must order both the
+#: freeing and the reusing thread (§4.3).
+RELEASE_KINDS = frozenset({
+    SyncKind.UNLOCK,
+    SyncKind.NOTIFY,
+    SyncKind.FORK,
+    SyncKind.THREAD_EXIT,
+    SyncKind.ATOMIC,
+    SyncKind.ALLOC_PAGE,
+    SyncKind.FREE_PAGE,
+})
+
+
+@dataclass(eq=True, frozen=True, slots=True)
+class SyncEvent:
+    """One synchronization operation with its logical timestamp."""
+
+    tid: int
+    kind: SyncKind
+    var: SyncVar
+    timestamp: int
+    pc: int
+
+    @property
+    def is_acquire(self) -> bool:
+        return self.kind in ACQUIRE_KINDS
+
+    @property
+    def is_release(self) -> bool:
+        return self.kind in RELEASE_KINDS
+
+
+@dataclass(eq=True, frozen=True, slots=True)
+class MemoryEvent:
+    """One (sampled) memory access.
+
+    ``mask`` is a bitmask over evaluated samplers: bit *i* is set if sampler
+    *i* chose the instrumented copy for the function call executing this
+    access.  Single-sampler runs use mask 1.
+    """
+
+    tid: int
+    addr: int
+    pc: int
+    is_write: bool
+    mask: int = 1
+
+
+Event = Union[SyncEvent, MemoryEvent]

@@ -1,0 +1,38 @@
+"""One module per table/figure of the paper's evaluation, plus ablations.
+
+Run any experiment standalone::
+
+    python -m repro.experiments.table3 --scale 0.5
+    python -m repro.experiments.figure4
+    python -m repro.experiments.ablations
+
+or everything at once (regenerates the EXPERIMENTS.md numbers)::
+
+    python -m repro.experiments --scale 1.0
+"""
+
+import importlib
+
+__all__ = ["EXPERIMENT_NAMES", "run_all"]
+
+#: Experiment module names in the paper's presentation order.
+EXPERIMENT_NAMES = (
+    "table1",
+    "table2",
+    "table3",
+    "figure4",
+    "figure5",
+    "table4",
+    "table5",
+    "figure6",
+    "ablations",
+)
+
+
+def run_all(scale: float = 1.0, seeds=(1, 2, 3)) -> str:
+    """Regenerate every table and figure; return the combined report."""
+    sections = []
+    for name in EXPERIMENT_NAMES:
+        module = importlib.import_module(f"{__name__}.{name}")
+        sections.append(module.run(scale=scale, seeds=seeds))
+    return "\n\n\n".join(sections)

@@ -1,0 +1,7 @@
+"""``python -m repro.experiments``: regenerate every table and figure."""
+
+from .common import experiment_main
+from . import run_all
+
+if __name__ == "__main__":
+    experiment_main(run_all, "Regenerate all tables and figures")

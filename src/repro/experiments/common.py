@@ -1,0 +1,78 @@
+"""Shared infrastructure for the per-table/per-figure experiment modules.
+
+Each experiment module exposes ``run(scale, seeds) -> str`` returning the
+rendered artifact and is runnable as a script::
+
+    python -m repro.experiments.table3 [--scale 0.5] [--seeds 1,2,3]
+
+The §5.3 detection study (one marked run per benchmark per seed) feeds
+Table 3, Table 4, Figure 4 and Figure 5; it is memoized here so a session
+regenerating several artifacts pays for it once.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..analysis.detection import DetectionStudy, run_detection_study
+from ..analysis.overhead import OverheadRow, run_overhead_study
+from ..core.samplers import SAMPLER_ORDER
+from .. import workloads
+
+__all__ = ["detection_study", "overhead_study", "experiment_main",
+           "DEFAULT_SEEDS", "DEFAULT_SCALE", "paper_note"]
+
+#: The paper runs each instrumented application three times (§5.3).
+DEFAULT_SEEDS: Tuple[int, ...] = (1, 2, 3)
+
+#: Default workload scale for experiment runs.  1.0 is the calibrated full
+#: size; smaller values shrink iteration counts proportionally (faster,
+#: noisier, and the rare/frequent threshold scales along automatically).
+DEFAULT_SCALE = 1.0
+
+_STUDY_CACHE: Dict[Tuple, DetectionStudy] = {}
+_OVERHEAD_CACHE: Dict[Tuple, list] = {}
+
+
+def detection_study(scale: float = DEFAULT_SCALE,
+                    seeds: Iterable[int] = DEFAULT_SEEDS,
+                    benchmarks: Optional[Tuple[str, ...]] = None,
+                    samplers: Tuple[str, ...] = SAMPLER_ORDER) -> DetectionStudy:
+    """The memoized §5.3 study shared by Tables 3-4 and Figures 4-5."""
+    if benchmarks is None:
+        benchmarks = tuple(workloads.race_eval_names())
+    key = (scale, tuple(seeds), benchmarks, samplers)
+    if key not in _STUDY_CACHE:
+        _STUDY_CACHE[key] = run_detection_study(
+            benchmarks=benchmarks, samplers=samplers,
+            seeds=tuple(seeds), scale=scale,
+        )
+    return _STUDY_CACHE[key]
+
+
+def overhead_study(scale: float = DEFAULT_SCALE,
+                   seeds: Iterable[int] = (1,)) -> "list[OverheadRow]":
+    """The memoized §5.4 study shared by Table 5 and Figure 6."""
+    key = (scale, tuple(seeds))
+    if key not in _OVERHEAD_CACHE:
+        _OVERHEAD_CACHE[key] = run_overhead_study(seeds=tuple(seeds),
+                                                  scale=scale)
+    return _OVERHEAD_CACHE[key]
+
+
+def paper_note(text: str) -> str:
+    """Format the paper-reference footnote attached to each artifact."""
+    return f"\n[paper] {text}"
+
+
+def experiment_main(run_fn, description: str) -> None:
+    """Argument parsing + execution for ``python -m repro.experiments.X``."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--seeds", type=str, default="1,2,3",
+                        help="comma-separated scheduler seeds")
+    args = parser.parse_args()
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s)
+    print(run_fn(scale=args.scale, seeds=seeds))

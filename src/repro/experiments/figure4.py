@@ -1,0 +1,66 @@
+"""Figure 4: proportion of static data races found by each sampler.
+
+One group per benchmark-input pair with a bar per sampler, plus the
+cross-benchmark average and each sampler's weighted effective sampling
+rate (the figure's final group).
+
+Paper headline: TL-Ad detects ~70% of all static races while logging only
+1.8% of memory operations; TL-Fx ~72% at 5.2%; G-Ad only ~22.7% at a
+comparable 1.3%; G-Fx 48% at 10%; random samplers ~24% at 10-25%; UCP logs
+~99% of operations yet detects only ~32% — the direct validation of the
+cold-region hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..analysis.tables import format_percent, format_table
+from ..core.samplers import SAMPLER_ORDER
+from .. import workloads
+from .common import DEFAULT_SCALE, DEFAULT_SEEDS, detection_study, \
+    experiment_main, paper_note
+
+__all__ = ["run"]
+
+_PAPER_AVERAGE = {
+    "TL-Ad": 0.70, "TL-Fx": 0.72, "G-Ad": 0.227, "G-Fx": 0.48,
+    "Rnd10": 0.24, "Rnd25": None, "UCP": 0.32,
+}
+
+
+def run(scale: float = DEFAULT_SCALE,
+        seeds: Iterable[int] = DEFAULT_SEEDS) -> str:
+    study = detection_study(scale=scale, seeds=seeds)
+    headers = ["Benchmark"] + list(SAMPLER_ORDER)
+    rows: List[List[str]] = []
+    for name in study.benchmarks():
+        title = workloads.get(name).title
+        rows.append([title] + [
+            format_percent(study.detection_rate(name, sampler))
+            for sampler in SAMPLER_ORDER
+        ])
+    rows.append(["Average"] + [
+        format_percent(study.average_detection_rate(sampler))
+        for sampler in SAMPLER_ORDER
+    ])
+    rows.append(["Weighted Avg ESR"] + [
+        format_percent(study.weighted_esr(sampler))
+        for sampler in SAMPLER_ORDER
+    ])
+    rows.append(["(paper average)"] + [
+        format_percent(v) if v is not None else "-"
+        for v in (_PAPER_AVERAGE[s] for s in SAMPLER_ORDER)
+    ])
+    table = format_table(
+        headers, rows,
+        title="Figure 4: proportion of static data races found by sampler",
+    )
+    return table + paper_note(
+        "TL-Ad finds ~70% of races logging <2% of memory ops; UCP logs "
+        "~99% yet finds ~32% (cold-region hypothesis)."
+    )
+
+
+if __name__ == "__main__":
+    experiment_main(run, __doc__.splitlines()[0])

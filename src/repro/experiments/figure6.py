@@ -1,0 +1,71 @@
+"""Figure 6: LiteRace's overhead decomposed into its components.
+
+Each benchmark's bar stacks, on top of the baseline run time (1.0):
+the dispatch checks, the synchronization logging, and the sampled-memory
+logging.  As in the paper, the synchronization-intensive microbenchmarks
+(and ConcRT Explicit Scheduling) are dominated by synchronization logging
+— the price of never missing a happens-before edge — while the realistic
+applications stay near the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..analysis.tables import format_table
+from .common import DEFAULT_SCALE, experiment_main, overhead_study, \
+    paper_note
+
+__all__ = ["run"]
+
+_BAR_WIDTH = 44
+
+
+def _stacked_bar(fracs: List[float], total_scale: float) -> str:
+    chars = ""
+    for frac, glyph in zip(fracs, ".dsm"):
+        chars += glyph * round(_BAR_WIDTH * frac / total_scale)
+    return chars
+
+
+def run(scale: float = DEFAULT_SCALE, seeds: Iterable[int] = (1,)) -> str:
+    rows_data = overhead_study(scale=scale, seeds=tuple(seeds))
+    peak = max(r.literace_slowdown for r in rows_data)
+    rows = []
+    lines = []
+    for row in rows_data:
+        fracs = [1.0, row.frac_dispatch, row.frac_sync_log,
+                 row.frac_memory_log]
+        lines.append((row.title, _stacked_bar(fracs, peak),
+                      row.literace_slowdown))
+        rows.append([
+            row.title,
+            "1.00",
+            f"{row.frac_dispatch:.3f}",
+            f"{row.frac_sync_log:.3f}",
+            f"{row.frac_memory_log:.3f}",
+            f"{row.literace_slowdown:.2f}x",
+        ])
+    table = format_table(
+        ["Benchmark", "baseline", "+dispatch", "+sync log", "+mem log",
+         "total"],
+        rows,
+        title="Figure 6: LiteRace slowdown decomposition "
+              "(fractions of baseline time)",
+    )
+    label_width = max(len(t) for t, _, _ in lines)
+    chart = "\n".join(
+        f"{title.ljust(label_width)} |{bar} {total:.2f}x"
+        for title, bar, total in lines
+    )
+    legend = ("legend: '.' baseline  'd' dispatch checks  "
+              "'s' synchronization logging  'm' sampled-memory logging")
+    return (table + "\n\n" + chart + "\n" + legend + paper_note(
+        "Synchronization-intensive microbenchmarks show the highest "
+        "overhead (2x-2.5x) because all synchronization must be logged; "
+        "realistic applications sit near 1.0x-1.5x."
+    ))
+
+
+if __name__ == "__main__":
+    experiment_main(run, __doc__.splitlines()[0])

@@ -1,0 +1,95 @@
+"""Table 1: how synchronization operations are logged.
+
+The paper's Table 1 lists, for each kind of synchronization operation, the
+*SyncVar* that identifies the synchronized-on object and whether additional
+synchronization is needed to timestamp the operation atomically (only raw
+atomic machine ops need it — the tool cannot tell whether a CAS acts as a
+lock or an unlock, §4.2).
+
+This experiment prints the implemented mapping, verified directly against
+the runtime: a probe program exercises every operation kind and the logged
+events are checked against the table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..analysis.tables import format_table
+from ..core.literace import LiteRace
+from ..eventlog.events import SyncEvent, SyncKind
+from ..tir.builder import ProgramBuilder
+from .common import experiment_main, paper_note
+
+__all__ = ["run", "SYNCVAR_TABLE"]
+
+#: (paper row, our sync kinds, SyncVar domain, needs extra sync?)
+SYNCVAR_TABLE = (
+    ("Lock / Unlock", (SyncKind.LOCK, SyncKind.UNLOCK),
+     "mutex (lock object address)", False),
+    ("Wait / Notify", (SyncKind.WAIT, SyncKind.NOTIFY),
+     "event (event handle)", False),
+    ("Fork / Join", (SyncKind.FORK, SyncKind.JOIN,
+                     SyncKind.THREAD_START, SyncKind.THREAD_EXIT),
+     "thread (child thread id)", False),
+    ("Atomic Machine Ops", (SyncKind.ATOMIC,),
+     "atomic (target memory address)", True),
+    ("Alloc / Free (§4.3)", (SyncKind.ALLOC_PAGE, SyncKind.FREE_PAGE),
+     "page (containing heap page)", False),
+)
+
+
+def _probe_program():
+    """A program performing one of every synchronization operation."""
+    b = ProgramBuilder("table1-probe")
+    lock = b.global_addr("lock")
+    ev = b.global_addr("ev")
+    cell = b.global_addr("cell")
+
+    with b.function("child", slots=1) as f:
+        f.wait(ev)
+        f.lock(lock)
+        f.unlock(lock)
+        f.atomic_rmw(cell)
+        f.alloc(64, 0)
+        f.free(0)
+
+    with b.function("main", slots=1) as f:
+        f.fork("child", tid_slot=0)
+        f.notify(ev)
+        f.join(0)
+    return b.build(entry="main")
+
+
+def run(scale: float = 1.0, seeds: Iterable[int] = (1,)) -> str:
+    _, log = LiteRace(sampler="Full",
+                      seed=next(iter(seeds))).profile(_probe_program())
+    observed = {}
+    for event in log.events:
+        if isinstance(event, SyncEvent):
+            observed.setdefault(event.kind, event.var[0])
+
+    rows = []
+    for label, kinds, syncvar, extra in SYNCVAR_TABLE:
+        domains = {observed.get(kind) for kind in kinds}
+        domains.discard(None)
+        verified = "yes" if domains and all(
+            syncvar.startswith(d) for d in domains) else "NO"
+        rows.append([label, syncvar, "Yes" if extra else "No", verified])
+
+    table = format_table(
+        ["Synchronization Op", "SyncVar", "Add'l Sync?", "verified"],
+        rows,
+        title="Table 1: logging synchronization operations",
+    )
+    return table + paper_note(
+        "SyncVar identifies the synchronization object; a logical "
+        "timestamp orders operations on the same SyncVar.  Only atomic "
+        "machine ops need the extra critical section (§4.2).  Our page "
+        "domain additionally realizes §4.3's allocation rule; thread "
+        "start/exit events pair the fork/join edges."
+    )
+
+
+if __name__ == "__main__":
+    experiment_main(run, __doc__.splitlines()[0])

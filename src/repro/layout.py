@@ -1,0 +1,56 @@
+"""Simulated address-space layout.
+
+The TIR machine has a single flat address space shared by all threads,
+partitioned into fixed regions.  The partition matters to two consumers:
+
+* The allocator (:mod:`repro.runtime.memory`) hands out heap blocks from the
+  heap region and maps addresses to pages for the paper's alloc-as-page-sync
+  rule (§4.3).
+* The race detector's rare/frequent classification (Table 4) counts "non-stack
+  memory instructions"; :func:`is_stack_addr` identifies the thread-private
+  region that plays the role of the stack.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAGE_SIZE",
+    "GLOBALS_BASE",
+    "HEAP_BASE",
+    "TLS_BASE",
+    "TLS_SIZE",
+    "is_stack_addr",
+    "page_of",
+    "tls_base_for",
+]
+
+#: Bytes per page; the granularity of allocation-as-synchronization.
+PAGE_SIZE = 4096
+
+#: Start of the global (static data) region.  Sync vars and named shared
+#: variables live here.
+GLOBALS_BASE = 0x1000_0000
+
+#: Start of the heap region served by the bump allocator.
+HEAP_BASE = 0x4000_0000
+
+#: Start of the per-thread private (stack/TLS) region.
+TLS_BASE = 0x8000_0000
+
+#: Bytes of private region reserved per thread.
+TLS_SIZE = 0x10_0000
+
+
+def is_stack_addr(addr: int) -> bool:
+    """True if ``addr`` lies in a thread-private (stack-analogue) region."""
+    return addr >= TLS_BASE
+
+
+def page_of(addr: int) -> int:
+    """The page number containing ``addr``."""
+    return addr // PAGE_SIZE
+
+
+def tls_base_for(tid: int) -> int:
+    """Base address of thread ``tid``'s private region."""
+    return TLS_BASE + tid * TLS_SIZE

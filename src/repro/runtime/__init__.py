@@ -1,0 +1,37 @@
+"""Execution substrate: interpreter, scheduler, sync objects, heap, costs."""
+
+from .chaos import ChaosScheduler
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .executor import (
+    DeadlockError,
+    ExecutionLimitError,
+    Executor,
+    Harness,
+    RunResult,
+)
+from .memory import Heap, HeapError
+from .scheduler import RandomInterleaver, RoundRobinScheduler, Scheduler
+from .sync import Event, Mutex, SyncError
+from .thread_state import Frame, ThreadState, ThreadStatus
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Executor",
+    "Harness",
+    "RunResult",
+    "DeadlockError",
+    "ExecutionLimitError",
+    "Heap",
+    "HeapError",
+    "Scheduler",
+    "RandomInterleaver",
+    "RoundRobinScheduler",
+    "ChaosScheduler",
+    "Mutex",
+    "Event",
+    "SyncError",
+    "Frame",
+    "ThreadState",
+    "ThreadStatus",
+]

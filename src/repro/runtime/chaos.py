@@ -1,0 +1,77 @@
+"""A PCT-style randomized-priority scheduler for race manifestation.
+
+Whether a planted race *manifests* depends on the interleaving; uniform
+random preemption (the default :class:`RandomInterleaver`) explores
+schedules near round-robin.  Probabilistic concurrency testing (PCT,
+Burckhardt et al.) instead assigns each thread a random priority, always
+runs the highest-priority runnable thread, and injects a small number of
+random priority-change points — covering qualitatively different schedules
+(long uninterrupted runs, starved threads, inverted start orders) with few
+runs.
+
+This scheduler broadens the race-manifestation studies: the workload tests
+use it to check that planted races survive adversarial schedules and that
+race-free programs stay race-free under them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence
+
+from .scheduler import Scheduler
+
+__all__ = ["ChaosScheduler"]
+
+
+class ChaosScheduler(Scheduler):
+    """PCT-style priorities with ``change_points`` random reshuffles.
+
+    Parameters
+    ----------
+    seed:
+        Drives priorities and change-point positions.
+    change_points:
+        How many times during the run one thread's priority is re-drawn
+        (PCT's *d* parameter; more points explore deeper orderings).
+    expected_steps:
+        Rough run length used to spread the change points; harmless if the
+        actual run is shorter or longer.
+    """
+
+    def __init__(self, seed: int = 0, change_points: int = 3,
+                 expected_steps: int = 100_000):
+        if change_points < 0:
+            raise ValueError("change_points must be >= 0")
+        if expected_steps < 1:
+            raise ValueError("expected_steps must be >= 1")
+        self.seed = seed
+        self.change_points = change_points
+        self.expected_steps = expected_steps
+        self._rng = random.Random(seed)
+        self._priorities: Dict[int, float] = {}
+        self._steps = 0
+        self._change_at = sorted(
+            self._rng.randrange(expected_steps)
+            for _ in range(change_points)
+        )
+
+    def _priority_of(self, tid: int) -> float:
+        if tid not in self._priorities:
+            self._priorities[tid] = self._rng.random()
+        return self._priorities[tid]
+
+    def next_thread(self, current: Optional[int],
+                    runnable: Sequence[int]) -> int:
+        self._steps += 1
+        while self._change_at and self._steps >= self._change_at[0]:
+            self._change_at.pop(0)
+            # Re-draw one thread's priority (PCT's priority-change point).
+            victim = runnable[self._rng.randrange(len(runnable))]
+            self._priorities[victim] = self._rng.random()
+        return max(runnable, key=self._priority_of)
+
+    def fork_seed(self, index: int) -> "ChaosScheduler":
+        return ChaosScheduler(seed=self.seed * 7_919 + index + 1,
+                              change_points=self.change_points,
+                              expected_steps=self.expected_steps)

@@ -1,0 +1,98 @@
+"""The instruction-count cost model driving the virtual clock.
+
+The paper reports overheads as wall-clock slowdowns on a 4-core Opteron; this
+reproduction replaces wall time with a virtual clock advanced by per-
+instruction costs, in abstract units we call *cycles*.  What we preserve is
+the paper's own decomposition (Figure 6): a run's time is the baseline cost
+of the application's instructions plus three instrumentation components —
+dispatch checks, synchronization logging, and sampled-memory logging — and
+I/O latency masks all of them.
+
+All constants live in one dataclass so that ablation experiments can vary
+them (e.g. the timestamp-counter contention study in
+:mod:`repro.experiments.ablations`).
+
+Calibration notes
+-----------------
+* ``dispatch_check`` is 8, straight from §4.1: "our dispatch check involves
+  8 instructions with 3 memory references and 1 branch".
+* ``log_sync`` (plus the atomic-timestamping critical section) dominates
+  LiteRace's overhead on the sync-intensive microbenchmarks (LKRHash,
+  LFList), reproducing their 2.1-2.4x LiteRace slowdowns, exactly as in
+  Figure 6 where synchronization logging is the tall component.
+* ``log_memory`` dominates full logging of memory-intensive code,
+  reproducing the 7.5x average / up to 33x full-logging slowdowns, while
+  sampling reduces it to near zero for LiteRace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs for baseline execution and for instrumentation."""
+
+    # -- baseline application costs (exist with or without LiteRace) -----
+    #: One memory load or store.
+    memory_op: int = 1
+    #: One unit of pure computation.
+    compute_unit: int = 1
+    #: Acquire or release of an uncontended mutex / event op.
+    sync_op: int = 20
+    #: An atomic read-modify-write instruction.
+    atomic_rmw: int = 8
+    #: Call / return bookkeeping per function call.
+    call: int = 4
+    #: Loop-control overhead per iteration.
+    loop_iter: int = 1
+    #: Heap allocation / free.
+    alloc: int = 60
+    free: int = 40
+    #: Thread creation / join (the OS-level part).
+    fork: int = 2000
+    join: int = 40
+
+    # -- instrumentation costs (added by LiteRace / full logging) --------
+    #: The dispatch check executed at every function entry (§4.1).
+    dispatch_check: int = 8
+    #: Logging one sampled memory access: address + pc into the per-thread
+    #: buffer, metadata bookkeeping, and amortized flushing.  Deliberately
+    #: the dominant cost, as in the paper, where logging every memory
+    #: operation is what makes full logging 7.5x on average.
+    log_memory: int = 112
+    #: Logging one synchronization op: hashed-counter atomic increment plus
+    #: record write (§4.2).
+    log_sync: int = 20
+    #: Extra critical section wrapped around atomic machine ops so their
+    #: timestamps are consistent with their execution order (§4.2).
+    log_atomic_extra: int = 20
+    #: Contention penalty per sync log when timestamp counters are shared:
+    #: ``contention_unit * (threads - 1) / timestamp_counters`` cycles are
+    #: added per sync op.  With the paper's 128 counters this is negligible;
+    #: the single-global-counter ablation makes it bite.
+    contention_unit: int = 150
+
+    # -- clock conversion -------------------------------------------------
+    #: Virtual cycles per second, used only to express log volume in MB/s
+    #: (Table 5) and execution times in seconds.
+    cycles_per_second: int = 1_000_000_000
+
+    def contention_cost(self, active_threads: int, num_counters: int) -> int:
+        """Cycles lost to timestamp-counter contention for one sync log."""
+        if num_counters <= 0:
+            raise ValueError("num_counters must be positive")
+        if active_threads <= 1:
+            return 0
+        return self.contention_unit * (active_threads - 1) // num_counters
+
+    def with_overrides(self, **kwargs) -> "CostModel":
+        """A copy of this model with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The model used by all headline experiments.
+DEFAULT_COST_MODEL = CostModel()

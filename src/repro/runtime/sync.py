@@ -1,0 +1,106 @@
+"""Runtime synchronization objects: mutexes and events.
+
+These give the TIR's ``Lock``/``Unlock``/``Wait``/``Notify`` instructions
+their blocking semantics.  Sync objects are identified by address (their
+*SyncVar*, in the paper's vocabulary) and created lazily on first use, just
+as the real tool discovers synchronization objects dynamically.
+
+The wake-up policies are deterministic (FIFO) so that a given scheduler seed
+always reproduces the same execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+__all__ = ["Mutex", "Event", "SyncError"]
+
+
+class SyncError(RuntimeError):
+    """Invalid synchronization usage (e.g. unlocking an unowned mutex)."""
+
+
+class Mutex:
+    """A non-reentrant mutual-exclusion lock with a FIFO wait queue."""
+
+    __slots__ = ("owner", "waiters")
+
+    def __init__(self):
+        self.owner: Optional[int] = None
+        self.waiters: Deque[int] = deque()
+
+    def acquire(self, tid: int) -> bool:
+        """Try to acquire for ``tid``; returns False (and queues) if held."""
+        if self.owner is None:
+            self.owner = tid
+            return True
+        if self.owner == tid:
+            raise SyncError(f"thread {tid} re-acquired a non-reentrant mutex")
+        self.waiters.append(tid)
+        return False
+
+    def release(self, tid: int) -> Optional[int]:
+        """Release by ``tid``; return the tid of the woken waiter, if any.
+
+        Ownership passes directly to the woken waiter (no barging), which
+        keeps executions deterministic.
+        """
+        if self.owner != tid:
+            raise SyncError(
+                f"thread {tid} released a mutex owned by {self.owner}"
+            )
+        if self.waiters:
+            self.owner = self.waiters.popleft()
+            return self.owner
+        self.owner = None
+        return None
+
+
+class Event:
+    """A condition/event object supporting both semaphore and sticky waits.
+
+    ``Notify`` adds one pending signal and marks the event as having been
+    signaled at least once.  A *consuming* wait (semaphore style) takes one
+    pending signal or blocks; a *sticky* wait (manual-reset style) returns
+    immediately once the event has ever been signaled.
+    """
+
+    __slots__ = ("pending", "signaled", "_consumers", "_watchers")
+
+    def __init__(self):
+        self.pending = 0
+        self.signaled = False
+        self._consumers: Deque[int] = deque()  # blocked consuming waiters
+        self._watchers: Deque[int] = deque()   # blocked sticky waiters
+
+    def wait(self, tid: int, consume: bool) -> bool:
+        """Try to pass the event; returns False (and queues) if it blocks."""
+        if consume:
+            if self.pending > 0:
+                self.pending -= 1
+                return True
+            self._consumers.append(tid)
+            return False
+        if self.signaled:
+            return True
+        self._watchers.append(tid)
+        return False
+
+    def notify(self) -> List[int]:
+        """Signal once; return the tids woken by this signal."""
+        self.signaled = True
+        woken: List[int] = []
+        # Every sticky watcher passes once the event has been signaled.
+        while self._watchers:
+            woken.append(self._watchers.popleft())
+        # One pending signal either wakes one consumer or accumulates.
+        if self._consumers:
+            woken.append(self._consumers.popleft())
+        else:
+            self.pending += 1
+        return woken
+
+    @property
+    def has_waiters(self) -> bool:
+        return bool(self._consumers or self._watchers)

@@ -1,0 +1,63 @@
+"""Thread intermediate representation: the programs LiteRace instruments.
+
+This subpackage is the reproduction's substitute for x86 binaries.  Workload
+models are authored with :class:`ProgramBuilder`, validated and PC-stamped by
+:class:`Program`, interpreted by :mod:`repro.runtime`, and rewritten by
+:mod:`repro.core.instrument`.
+"""
+
+from .addr import AddrExpr, HeapSlot, Indexed, Param, Tls, resolve_addr
+from .builder import FunctionBuilder, ProgramBuilder
+from .ops import (
+    MEMORY_OPS,
+    SYNC_OPS,
+    Alloc,
+    AtomicRMW,
+    Call,
+    Compute,
+    Fork,
+    Free,
+    Instr,
+    Io,
+    Join,
+    Lock,
+    Loop,
+    Notify,
+    Read,
+    Unlock,
+    Wait,
+    Write,
+)
+from .program import Function, Program, ProgramError
+
+__all__ = [
+    "AddrExpr",
+    "Param",
+    "Tls",
+    "HeapSlot",
+    "Indexed",
+    "resolve_addr",
+    "ProgramBuilder",
+    "FunctionBuilder",
+    "Function",
+    "Program",
+    "ProgramError",
+    "Instr",
+    "Read",
+    "Write",
+    "Compute",
+    "Io",
+    "Lock",
+    "Unlock",
+    "Wait",
+    "Notify",
+    "Fork",
+    "Join",
+    "AtomicRMW",
+    "Alloc",
+    "Free",
+    "Call",
+    "Loop",
+    "SYNC_OPS",
+    "MEMORY_OPS",
+]

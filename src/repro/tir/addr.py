@@ -1,0 +1,120 @@
+"""Address expressions for the thread intermediate representation (TIR).
+
+Most operands in a TIR program are plain integers naming a location in the
+simulated flat address space.  Workloads, however, frequently need addresses
+that are only known at run time: per-thread scratch areas, addresses passed
+as function parameters, heap blocks returned by ``Alloc``, and addresses that
+vary with a loop induction variable.  Those are expressed with the small
+expression language in this module.
+
+Every expression resolves to a concrete integer address against a
+:class:`~repro.runtime.thread_state.Frame`.  Plain ``int`` operands are
+accepted anywhere an address expression is and resolve to themselves; the
+interpreter fast-paths them.
+
+The address space layout itself (which ranges are stack, globals, heap) is
+owned by :mod:`repro.runtime.memory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "AddrExpr",
+    "Param",
+    "Tls",
+    "HeapSlot",
+    "Indexed",
+    "AddrLike",
+    "resolve_addr",
+]
+
+
+class AddrExpr:
+    """Base class for run-time-resolved address expressions."""
+
+    __slots__ = ()
+
+    def resolve(self, frame) -> int:
+        """Return the concrete address of this expression in ``frame``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Param(AddrExpr):
+    """The value of the ``index``-th parameter of the enclosing function.
+
+    Parameters are plain integers (usually addresses) supplied by the caller
+    at ``Call``/``Fork`` time.  An optional byte ``offset`` is added, which
+    lets a single base pointer parameter address a whole record.
+    """
+
+    index: int
+    offset: int = 0
+
+    def resolve(self, frame) -> int:
+        return frame.params[self.index] + self.offset
+
+
+@dataclass(frozen=True, slots=True)
+class Tls(AddrExpr):
+    """An address inside the executing thread's thread-local block.
+
+    Each simulated thread owns a private region of the address space
+    (analogous to its stack plus TLS).  ``Tls(off)`` is the ``off``-th byte of
+    that region.  Accesses through ``Tls`` can never race by construction,
+    which makes them the TIR analogue of stack traffic; the detector's
+    rare/frequent classification excludes them from its denominator exactly
+    as the paper excludes "non-stack memory instructions".
+    """
+
+    offset: int
+
+    def resolve(self, frame) -> int:
+        return frame.thread.tls_base + self.offset
+
+
+@dataclass(frozen=True, slots=True)
+class HeapSlot(AddrExpr):
+    """An address relative to a heap block held in a frame slot.
+
+    ``Alloc(size, slot=k)`` stores the block's base address into slot ``k``
+    of the current frame; ``HeapSlot(k, off)`` then names ``base + off``.
+    """
+
+    slot: int
+    offset: int = 0
+
+    def resolve(self, frame) -> int:
+        return frame.slots[self.slot] + self.offset
+
+
+@dataclass(frozen=True, slots=True)
+class Indexed(AddrExpr):
+    """``base + stride * i`` where ``i`` is a loop induction variable.
+
+    ``depth`` selects which enclosing ``Loop`` supplies the index: 0 is the
+    innermost loop, 1 its parent, and so on.  ``base`` may itself be any
+    address expression (or a plain integer), so ``Indexed(Param(0), 8)``
+    walks an array whose base pointer was passed in as the first argument.
+    """
+
+    base: "AddrLike"
+    stride: int
+    depth: int = 0
+
+    def resolve(self, frame) -> int:
+        base = self.base if isinstance(self.base, int) else self.base.resolve(frame)
+        return base + self.stride * frame.loop_index(self.depth)
+
+
+AddrLike = Union[int, AddrExpr]
+
+
+def resolve_addr(addr: AddrLike, frame) -> int:
+    """Resolve ``addr`` (an int or :class:`AddrExpr`) against ``frame``."""
+    if isinstance(addr, int):
+        return addr
+    return addr.resolve(frame)

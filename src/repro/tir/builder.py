@@ -1,0 +1,191 @@
+"""A fluent DSL for authoring TIR programs.
+
+Workload models (:mod:`repro.workloads`) are written against this builder
+rather than constructing instruction dataclasses by hand::
+
+    b = ProgramBuilder("demo")
+    counter = b.global_addr("counter")
+    lock = b.global_addr("lock")
+
+    with b.function("worker") as f:
+        f.lock(lock)
+        f.read(counter)
+        f.write(counter)
+        f.unlock(lock)
+
+    with b.function("main", slots=2) as f:
+        f.fork("worker", tid_slot=0)
+        f.fork("worker", tid_slot=1)
+        f.join(0)
+        f.join(1)
+
+    program = b.build(entry="main")
+
+The builder also owns a tiny static-data allocator: :meth:`global_addr`
+reserves addresses in the globals region so that distinct named variables
+never alias, and :meth:`global_array` reserves contiguous ranges for
+``Indexed`` access patterns.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..layout import GLOBALS_BASE
+from . import ops
+from .addr import AddrLike
+from .ops import Instr, ValueLike
+from .program import Function, Program, ProgramError
+
+__all__ = ["ProgramBuilder", "FunctionBuilder"]
+
+#: Default alignment between named globals, so that adjacent variables land
+#: on different addresses (and usually different cache-line-sized chunks).
+_GLOBAL_ALIGN = 64
+
+
+class FunctionBuilder:
+    """Accumulates the body of one function; created by ``ProgramBuilder.function``."""
+
+    def __init__(self, program_builder: "ProgramBuilder", name: str,
+                 num_params: int, num_slots: int):
+        self._pb = program_builder
+        self.name = name
+        self.num_params = num_params
+        self.num_slots = num_slots
+        self._blocks: List[List[Instr]] = [[]]
+
+    # -- emission helpers ------------------------------------------------
+    def _emit(self, instr: Instr) -> Instr:
+        self._blocks[-1].append(instr)
+        return instr
+
+    def read(self, addr: AddrLike) -> Instr:
+        """Emit a load from ``addr``."""
+        return self._emit(ops.Read(addr))
+
+    def write(self, addr: AddrLike) -> Instr:
+        """Emit a store to ``addr``."""
+        return self._emit(ops.Write(addr))
+
+    def update(self, addr: AddrLike) -> Tuple[Instr, Instr]:
+        """Emit a read-modify-write pair (a load then a store) on ``addr``."""
+        return self.read(addr), self.write(addr)
+
+    def compute(self, n: int = 1) -> Instr:
+        """Emit ``n`` units of pure computation."""
+        return self._emit(ops.Compute(n))
+
+    def io(self, duration: ValueLike) -> Instr:
+        """Emit blocking I/O lasting ``duration`` virtual time units."""
+        return self._emit(ops.Io(duration))
+
+    def lock(self, var: AddrLike, via_cas: bool = False) -> Instr:
+        """Acquire ``var``; ``via_cas=True`` models a user-level CAS lock."""
+        return self._emit(ops.Lock(var, via_cas=via_cas))
+
+    def unlock(self, var: AddrLike, via_cas: bool = False) -> Instr:
+        """Release ``var``; ``via_cas=True`` models a user-level CAS lock."""
+        return self._emit(ops.Unlock(var, via_cas=via_cas))
+
+    @contextmanager
+    def critical(self, var: AddrLike) -> Iterator[None]:
+        """Emit a lock/unlock pair bracketing the ``with`` body."""
+        self.lock(var)
+        yield
+        self.unlock(var)
+
+    def wait(self, var: AddrLike, consume: bool = True) -> Instr:
+        return self._emit(ops.Wait(var, consume=consume))
+
+    def notify(self, var: AddrLike) -> Instr:
+        return self._emit(ops.Notify(var))
+
+    def fork(self, func: str, *args: ValueLike,
+             tid_slot: Optional[int] = None) -> Instr:
+        return self._emit(ops.Fork(func, tuple(args), tid_slot))
+
+    def join(self, tid_slot: int) -> Instr:
+        return self._emit(ops.Join(tid_slot))
+
+    def atomic_rmw(self, addr: AddrLike) -> Instr:
+        return self._emit(ops.AtomicRMW(addr))
+
+    def alloc(self, size: int, slot: int) -> Instr:
+        return self._emit(ops.Alloc(size, slot))
+
+    def free(self, slot: int) -> Instr:
+        return self._emit(ops.Free(slot))
+
+    def call(self, func: str, *args: ValueLike) -> Instr:
+        return self._emit(ops.Call(func, tuple(args)))
+
+    @contextmanager
+    def loop(self, count: ValueLike) -> Iterator[None]:
+        """Open a loop running the ``with`` body ``count`` times."""
+        self._blocks.append([])
+        yield
+        body = tuple(self._blocks.pop())
+        self._emit(ops.Loop(count, body))
+
+    # -- finish ----------------------------------------------------------
+    def _finish(self) -> Function:
+        if len(self._blocks) != 1:
+            raise ProgramError(f"{self.name}: unclosed loop block")
+        return Function(
+            name=self.name,
+            body=tuple(self._blocks[0]),
+            num_params=self.num_params,
+            num_slots=self.num_slots,
+        )
+
+
+class ProgramBuilder:
+    """Builds a :class:`~repro.tir.program.Program` function by function."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._functions: List[Function] = []
+        self._names: Dict[str, int] = {}
+        self._next_global = GLOBALS_BASE
+        self._globals: Dict[str, int] = {}
+
+    # -- static data -----------------------------------------------------
+    def global_addr(self, name: str) -> int:
+        """Reserve (or look up) a named address in the globals region."""
+        if name not in self._globals:
+            self._globals[name] = self._next_global
+            self._next_global += _GLOBAL_ALIGN
+        return self._globals[name]
+
+    def global_array(self, name: str, count: int, stride: int = 8) -> int:
+        """Reserve a contiguous array of ``count`` elements; return its base."""
+        if name not in self._globals:
+            base = self._next_global
+            self._globals[name] = base
+            span = count * stride
+            aligned = (span + _GLOBAL_ALIGN - 1) // _GLOBAL_ALIGN * _GLOBAL_ALIGN
+            self._next_global += max(aligned, _GLOBAL_ALIGN)
+        return self._globals[name]
+
+    @property
+    def globals(self) -> Dict[str, int]:
+        """Mapping of reserved global names to their addresses (read-only use)."""
+        return dict(self._globals)
+
+    # -- functions ---------------------------------------------------------
+    @contextmanager
+    def function(self, name: str, params: int = 0,
+                 slots: int = 0) -> Iterator[FunctionBuilder]:
+        """Open a function definition; the ``with`` body emits instructions."""
+        if name in self._names:
+            raise ProgramError(f"duplicate function name: {name!r}")
+        fb = FunctionBuilder(self, name, params, slots)
+        yield fb
+        self._names[name] = len(self._functions)
+        self._functions.append(fb._finish())
+
+    def build(self, entry: str) -> Program:
+        """Finalize into a validated :class:`Program` with entry ``entry``."""
+        return Program(list(self._functions), entry=entry, name=self.name)

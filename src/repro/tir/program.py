@@ -1,0 +1,193 @@
+"""Programs and functions: the static artifacts LiteRace instruments.
+
+A :class:`Program` is the analogue of the x86 binary handed to the paper's
+Phoenix-based rewriter: a set of named :class:`Function` bodies plus an entry
+point.  Before execution or instrumentation a program must be *finalized*,
+which walks every instruction (including loop bodies), assigns each a unique
+program counter, and validates static well-formedness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from . import ops
+from .ops import Call, Fork, Instr, Loop
+
+__all__ = ["Function", "Program", "ProgramError"]
+
+
+class ProgramError(ValueError):
+    """A statically malformed TIR program."""
+
+
+@dataclass(eq=False)
+class Function:
+    """A named straight-line (plus loops) sequence of TIR instructions.
+
+    ``num_params`` declares how many integer parameters callers must pass.
+    ``num_slots`` is the number of frame slots available for ``Alloc`` bases
+    and ``Fork`` thread ids.
+    """
+
+    name: str
+    body: Tuple[Instr, ...]
+    num_params: int = 0
+    num_slots: int = 0
+
+    def instructions(self) -> Iterator[Instr]:
+        """Yield every static instruction, descending into loop bodies."""
+        stack: List[Instr] = list(reversed(self.body))
+        while stack:
+            instr = stack.pop()
+            yield instr
+            if isinstance(instr, Loop):
+                stack.extend(reversed(instr.body))
+
+    @property
+    def static_size(self) -> int:
+        """Number of static instructions (the 'binary size' analogue)."""
+        return sum(1 for _ in self.instructions())
+
+
+class Program:
+    """A finalized, validated collection of functions with an entry point.
+
+    Parameters
+    ----------
+    functions:
+        The functions making up the program.  Names must be unique.
+    entry:
+        Name of the function the main thread starts in.
+    name:
+        Optional human-readable program name (used in reports).
+    """
+
+    def __init__(self, functions: List[Function], entry: str, name: str = "program"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        for func in functions:
+            if func.name in self.functions:
+                raise ProgramError(f"duplicate function name: {func.name!r}")
+            self.functions[func.name] = func
+        if entry not in self.functions:
+            raise ProgramError(f"entry function {entry!r} not defined")
+        self.entry = entry
+        self._pc_map: Dict[int, Instr] = {}
+        self._pc_owner: Dict[int, str] = {}
+        self._finalized = False
+        #: Ground-truth planted race sites (set by workload builders via
+        #: :meth:`repro.workloads.patterns.RacePlan.attach`); empty for
+        #: programs with no declared races.
+        self.planted_races: Tuple = ()
+        self.finalize()
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Assign unique PCs to every instruction and validate the program."""
+        next_pc = 0
+        self._pc_map.clear()
+        self._pc_owner.clear()
+        for func in self.functions.values():
+            for instr in func.instructions():
+                instr.pc = next_pc
+                self._pc_map[next_pc] = instr
+                self._pc_owner[next_pc] = func.name
+                next_pc += 1
+        self._validate()
+        self._finalized = True
+
+    def _validate(self) -> None:
+        for func in self.functions.values():
+            for instr in func.instructions():
+                self._validate_instr(func, instr)
+
+    def _validate_instr(self, func: Function, instr: Instr) -> None:
+        if isinstance(instr, (Call, Fork)):
+            callee = self.functions.get(instr.func)
+            if callee is None:
+                raise ProgramError(
+                    f"{func.name}: call to undefined function {instr.func!r}"
+                )
+            if len(instr.args) != callee.num_params:
+                raise ProgramError(
+                    f"{func.name}: {instr.func!r} takes {callee.num_params} "
+                    f"params, got {len(instr.args)}"
+                )
+        if isinstance(instr, Fork) and instr.tid_slot is not None:
+            self._check_slot(func, instr.tid_slot)
+        if isinstance(instr, ops.Join):
+            self._check_slot(func, instr.tid_slot)
+        if isinstance(instr, ops.Alloc):
+            self._check_slot(func, instr.slot)
+            if instr.size <= 0:
+                raise ProgramError(f"{func.name}: Alloc size must be positive")
+        if isinstance(instr, ops.Free):
+            self._check_slot(func, instr.slot)
+        if isinstance(instr, ops.Compute) and instr.n < 0:
+            raise ProgramError(f"{func.name}: Compute count must be >= 0")
+        if (isinstance(instr, ops.Io) and isinstance(instr.duration, int)
+                and instr.duration < 0):
+            raise ProgramError(f"{func.name}: Io duration must be >= 0")
+        if isinstance(instr, Loop):
+            if isinstance(instr.count, int) and instr.count < 0:
+                raise ProgramError(f"{func.name}: Loop count must be >= 0")
+            if not instr.body:
+                raise ProgramError(f"{func.name}: Loop body must not be empty")
+
+    def _check_slot(self, func: Function, slot: int) -> None:
+        if not 0 <= slot < func.num_slots:
+            raise ProgramError(
+                f"{func.name}: slot {slot} out of range "
+                f"(function declares {func.num_slots} slots)"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def instr_at(self, pc: int) -> Instr:
+        """Return the instruction with program counter ``pc``."""
+        return self._pc_map[pc]
+
+    def function_of_pc(self, pc: int) -> str:
+        """Name of the function containing the instruction at ``pc``.
+
+        The symbolization a real tool performs when turning racing program
+        counters into a readable report.
+        """
+        return self._pc_owner[pc]
+
+    def symbolize(self, pc: int) -> str:
+        """Human-readable location for ``pc``: ``function+offset (Opcode)``.
+
+        Returns ``"pc<N>"`` for program counters this program does not
+        contain (e.g. the sentinel -1 used for runtime-injected events).
+        """
+        if pc not in self._pc_map:
+            return f"pc{pc}"
+        name = self._pc_owner[pc]
+        func = self.functions[name]
+        offset = pc - min(i.pc for i in func.instructions())
+        opcode = type(self._pc_map[pc]).__name__
+        return f"{name}+{offset} ({opcode})"
+
+    @property
+    def num_functions(self) -> int:
+        return len(self.functions)
+
+    @property
+    def static_size(self) -> int:
+        """Total static instruction count across all functions."""
+        return sum(f.static_size for f in self.functions.values())
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program({self.name!r}, {self.num_functions} functions, "
+            f"{self.static_size} instrs, entry={self.entry!r})"
+        )

@@ -1,0 +1,45 @@
+"""Benchmark workload models (§5.1) and the workload registry.
+
+Importing this package registers every benchmark-input pair; use
+:func:`build` to construct one::
+
+    from repro import workloads
+    program = workloads.build("apache-1", seed=1)
+"""
+
+from .spec import (
+    PaperRaceCounts,
+    PlantedRace,
+    WorkloadSpec,
+    build,
+    get,
+    names,
+    overhead_eval_names,
+    race_eval_names,
+    register,
+)
+
+# Importing the modules below registers their workloads.
+from . import (  # noqa: E402,F401
+    apache,
+    concrt,
+    dryad,
+    firefox,
+    microbench,
+    parsec_like,
+    synthetic,
+)
+from .patterns import RacePlan, RacyHelper, racy_access
+from .synthetic import random_program, two_thread_racer
+
+__all__ = [
+    "PaperRaceCounts",
+    "PlantedRace",
+    "WorkloadSpec",
+    "build",
+    "get",
+    "names",
+    "overhead_eval_names",
+    "race_eval_names",
+    "register",
+]

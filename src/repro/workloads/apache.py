@@ -1,0 +1,309 @@
+"""Apache web-server workloads (§5.1).
+
+Two inputs, as in the paper:
+
+* **apache-1** — a mixed workload: requests for a small static page, a
+  larger page, and CGI requests (paper: 3000/3000/1000 with up to 30
+  concurrent connections; we scale the counts and use a 16-thread worker
+  pool plus a background logger).
+* **apache-2** — a uniform workload of small static requests only.
+
+Per-request work lives in handler helpers; workers run batches of requests
+and update the shared scoreboard under its lock once per batch, so
+cross-thread happens-before edges exist at batch granularity — sparse
+enough for the planted hot races to manifest, as in a real server where
+workers do not serialize per request.  The worker pool ramps up staggered
+(children are spawned as load arrives), which matters for global samplers:
+by the time late workers execute the hot handlers for *their* first time,
+a global sampler has long backed off.
+
+Planted races (keys = static PC pairs; per Table 4 apache-1 has 17 races,
+8 rare / 9 frequent; apache-2 has 16, 9 rare / 7 frequent):
+
+=======================  ======  =========  ==================================
+site                     keys    variant    archetype
+=======================  ======  =========  ==================================
+child_init               2 rare  both       warmed cold (thread-local only)
+config_reload            2 rare  both       cold-cold (two workers, once each)
+access_log_append        2 rare  both       hot-cold (hot helper; logger +
+                                            lead worker make shared calls)
+url_hash_insert          1 rare  both       hot-cold, write-only
+ssl_session_init         2 rare  apache-2   warmed cold
+pid_file_touch           1 rare  apache-1   cold-cold write (logger + lead)
+total_requests           2 freq  both       warm RW in the per-10-batches
+                                            request-stat bump (pre-warmed)
+keepalive_flag           1 freq  both       warm W, same stat bump
+bytes_sent               2 freq  apache-1   warm RW in the transfer-stat bump
+request_time_stat        2 freq  apache-2   warm RW in the request-stat bump
+conn_pool_flush          2 freq  both       mid-frequency: flushed once per
+                                            25 batches (10 calls/thread)
+cgi_active               2 freq  apache-1   late-frequent (private first
+                                            half, shared second half)
+=======================  ======  =========  ==================================
+"""
+
+from __future__ import annotations
+
+from ..tir.addr import HeapSlot, Indexed, Param
+from ..tir.builder import ProgramBuilder
+from ..tir.program import Program
+from .patterns import RacePlan, RacyHelper, racy_access, tls_churn
+from .spec import PaperRaceCounts, WorkloadSpec, register
+
+__all__ = ["build_apache_1", "build_apache_2"]
+
+WORKERS = 16
+
+# Per-batch request mix and per-worker batch counts (before scaling).
+_MIX_1 = {"small": 6, "large": 6, "cgi": 2}
+_BATCHES_1 = 250
+_MIX_2 = {"small": 16, "large": 0, "cgi": 0}
+_BATCHES_2 = 300
+
+#: Workers bump shared request statistics once per this many batches.
+_STATS_EVERY = 10
+#: Workers flush connection-pool stats once per this many batches.
+_FLUSH_EVERY = 25
+#: Cycles between successive worker spawns (pool ramp-up).
+_STAGGER = 60_000
+
+
+def _build(seed: int, scale: float, variant: int) -> Program:
+    name = f"apache-{variant}"
+    b = ProgramBuilder(name)
+    plan = RacePlan()
+    mix = _MIX_1 if variant == 1 else _MIX_2
+    batches = max(4, int((_BATCHES_1 if variant == 1 else _BATCHES_2) * scale))
+    # Two phases (early/late), each split into conn-stat flush chunks,
+    # each split into request-stat sub-chunks.
+    half = max(2, batches // 2)
+    flush_chunks = max(1, half // _FLUSH_EVERY)
+    chunk = half // flush_chunks
+    stat_runs = max(1, chunk // _STATS_EVERY)
+    stat_chunk = chunk // stat_runs
+    chunk = stat_chunk * stat_runs
+    half = chunk * flush_chunks
+
+    # -- shared state ----------------------------------------------------
+    sb_lock = b.global_addr("scoreboard_lock")
+    sb_busy = b.global_addr("scoreboard_busy")
+    sb_total = b.global_addr("scoreboard_total")
+    log_lock = b.global_addr("log_lock")
+    log_buf = b.global_addr("log_buffer_head")
+    cfg_cache = b.global_array("config_cache", 64, 8)
+    total_requests = b.global_addr("total_requests")
+    keepalive_flag = b.global_addr("keepalive_flag")
+    bytes_sent = b.global_addr("bytes_sent")
+    cgi_active = b.global_addr("cgi_active")
+    request_time = b.global_addr("request_time_stat")
+
+    # -- racy helpers -------------------------------------------------------
+    child_init = RacyHelper(b, plan, "child_init", payload_reads=2,
+                            expect_rare=True)
+    config_reload = RacyHelper(b, plan, "config_reload", expect_rare=True)
+    access_log = RacyHelper(b, plan, "access_log_append", payload_reads=1,
+                            expect_rare=True)
+    url_hash = RacyHelper(b, plan, "url_hash_insert", read=False,
+                          payload_reads=2, expect_rare=True)
+    conn_stats = RacyHelper(b, plan, "conn_pool_flush", payload_reads=1,
+                            expect_rare=False)
+    # ssl_session_init is exercised on shared state only in apache-2; the
+    # function exists in both builds.
+    ssl_init = RacyHelper(b, plan, "ssl_session_init", expect_rare=True,
+                          registered=variant == 2)
+
+    # -- request handlers (hot) ---------------------------------------------
+    with b.function("handle_static_small") as f:
+        tls_churn(f, slots=1)
+        f.compute(2)
+        with f.loop(6):
+            f.read(Indexed(cfg_cache, 8, 0))
+        access_log.call_tls(f, 768)
+        url_hash.call_tls(f, 896)
+        f.io(450)
+
+    with b.function("handle_static_large") as f:
+        tls_churn(f, slots=2)
+        f.compute(4)
+        with f.loop(24):
+            f.read(Indexed(cfg_cache, 8, 0))
+        access_log.call_tls(f, 768)
+        f.io(2500)
+
+    # Shared server statistics, updated once per batch rather than per
+    # request: frequent races in real servers recur at a human scale, not
+    # tens of thousands of times a second on one counter.
+    # p0 = request-time-stat target.
+    with b.function("bump_request_stats", params=1) as f:
+        plan.site("total_requests", racy_access(f, total_requests),
+                  expect_rare=False)
+        plan.site("keepalive_flag",
+                  racy_access(f, keepalive_flag, read=False),
+                  expect_rare=False)
+        time_site = racy_access(f, Param(0))
+        f.compute(1)
+    if variant == 2:
+        plan.site("request_time_stat", time_site, expect_rare=False)
+
+    with b.function("bump_transfer_stats") as f:
+        bytes_site = racy_access(f, bytes_sent)
+        f.compute(1)
+    if variant == 1:
+        plan.site("bytes_sent", bytes_site, expect_rare=False)
+
+    with b.function("handle_cgi", params=1, slots=1) as f:  # p0 cgi stat
+        # The racy stat update sits *before* the allocation: the recycled
+        # CGI buffer's page-synchronization (§4.3) orders the handlers'
+        # heap accesses, and an access inside that window would be ordered
+        # along with them.
+        cgi_site = racy_access(f, Param(0))
+        f.alloc(512, 0)
+        with f.loop(16):
+            f.write(Indexed(HeapSlot(0), 8, 0))
+        f.compute(10)
+        f.free(0)
+        f.io(30000)
+    if variant == 1:
+        plan.site("cgi_active", cgi_site, expect_rare=False)
+
+    with b.function("update_scoreboard") as f:
+        f.lock(sb_lock)
+        f.read(sb_busy)
+        f.write(sb_busy)
+        f.read(sb_total)
+        f.write(sb_total)
+        f.unlock(sb_lock)
+
+    # -- worker threads ----------------------------------------------------
+    # Params: p0 child-init, p1 reload, p2 ssl, p3 time-stat,
+    # p4 cgi-stat (early phase), p5 start stagger.
+    def request_batch(f, cgi_target):
+        with f.loop(mix["small"]):
+            f.call("handle_static_small")
+        if mix["large"]:
+            with f.loop(mix["large"]):
+                f.call("handle_static_large")
+        if mix["cgi"]:
+            with f.loop(mix["cgi"]):
+                f.call("handle_cgi", cgi_target)
+
+    def phase(f, cgi_target):
+        with f.loop(flush_chunks):
+            with f.loop(stat_runs):
+                with f.loop(stat_chunk):
+                    request_batch(f, cgi_target)
+                    f.call("update_scoreboard")
+                f.call("bump_request_stats", Param(3))
+                if mix["large"]:
+                    f.call("bump_transfer_stats")
+            conn_stats.call_shared(f)
+
+    with b.function("worker", params=6) as f:
+        f.io(Param(5))
+        child_init.call_with(f, Param(0))
+        ssl_init.call_with(f, Param(2))
+        phase(f, Param(4))      # early phase: CGI stats per-worker
+        phase(f, cgi_active)    # late phase: CGI stats shared
+        config_reload.call_with(f, Param(1))
+
+    with b.function("worker_lead", params=6) as f:
+        f.call("worker", *[Param(i) for i in range(6)])
+        # Lead worker's cold uses of the (hot) log and url-hash helpers.
+        access_log.call_shared(f)
+        url_hash.call_shared(f)
+        if variant == 1:
+            lead_pid = f.write(b.global_addr("pid_file"))
+
+    with b.function("logger") as f:
+        with f.loop(4):
+            f.io(max(4000, batches * 2500))
+            f.lock(log_lock)
+            f.read(log_buf)
+            f.write(log_buf)
+            f.unlock(log_lock)
+            tls_churn(f, slots=1)
+        access_log.call_shared(f)
+        url_hash.call_shared(f)
+        if variant == 1:
+            logger_pid = f.write(b.global_addr("pid_file"))
+    if variant == 1:
+        plan.site("pid_file_touch", [lead_pid, logger_pid],
+                  expect_rare=True, self_pairs=False)
+
+    # -- main ------------------------------------------------------------------
+    with b.function("main", slots=WORKERS + 1) as f:
+        for index in range(16):
+            f.write(cfg_cache + 8 * index)
+        # Master-process warmups (config checks, pool setup) that make the
+        # cold helpers globally hot before any worker runs.
+        with f.loop(30):
+            child_init.call_private(f, "master")
+            ssl_init.call_private(f, "master")
+            conn_stats.call_private(f, "master")
+            f.compute(2)
+        # The server has been running long before this measured window:
+        # pre-warm the hot statistics routines so samplers see them as the
+        # hot functions they are (main-thread accesses are fork-ordered,
+        # hence race-free).
+        with f.loop(2000):
+            f.call("bump_request_stats", b.global_addr("time_stat_master"))
+            f.call("bump_transfer_stats")
+            f.call("update_scoreboard")
+        f.fork("logger", tid_slot=WORKERS)
+        for w in range(WORKERS):
+            fn = "worker_lead" if w == 0 else "worker"
+            args = (
+                child_init.shared if w in (10, 11)
+                else child_init.private_addr(w),
+                config_reload.shared if w in (5, 9)
+                else config_reload.private_addr(w),
+                (ssl_init.shared if w in (6, 12) and variant == 2
+                 else ssl_init.private_addr(w)),
+                request_time if variant == 2
+                else b.global_addr(f"time_stat_{w}"),
+                b.global_addr(f"cgi_stat_{w}"),
+                _STAGGER * w,
+            )
+            f.fork(fn, *args, tid_slot=w)
+        for w in range(WORKERS):
+            f.join(w)
+        f.join(WORKERS)
+
+    program = b.build(entry="main")
+    return plan.attach(program)
+
+
+def build_apache_1(seed: int = 0, scale: float = 1.0) -> Program:
+    """Apache with the mixed small/large/CGI request workload."""
+    return _build(seed, scale, variant=1)
+
+
+def build_apache_2(seed: int = 0, scale: float = 1.0) -> Program:
+    """Apache with the uniform small-static-page workload."""
+    return _build(seed, scale, variant=2)
+
+
+register(WorkloadSpec(
+    name="apache-1",
+    title="Apache-1",
+    description="Apache httpd, mixed workload: small/large static pages "
+                "plus CGI requests",
+    builder=build_apache_1,
+    in_race_eval=True,
+    in_overhead_eval=True,
+    paper_races=PaperRaceCounts(total=17, rare=8, frequent=9),
+    paper_literace_slowdown=1.02,
+    paper_full_slowdown=1.4,
+))
+
+register(WorkloadSpec(
+    name="apache-2",
+    title="Apache-2",
+    description="Apache httpd, uniform workload of small static requests",
+    builder=build_apache_2,
+    in_race_eval=True,
+    in_overhead_eval=True,
+    paper_races=PaperRaceCounts(total=16, rare=9, frequent=7),
+    paper_literace_slowdown=1.04,
+    paper_full_slowdown=3.2,
+))

@@ -1,0 +1,153 @@
+"""ConcRT concurrency-runtime workloads (§5.1).
+
+ConcRT is the .NET parallel-extensions concurrency runtime providing
+lightweight tasks and synchronization primitives.  Two test inputs from its
+concurrency suite are modelled:
+
+* **concrt-messaging** — agent pairs exchanging messages through event
+  objects.  Threads spend most of their time blocked or in message latency
+  (I/O in our cost model), so instrumentation overhead is largely masked
+  (paper: 1.03x LiteRace / 1.08x full logging).
+* **concrt-scheduling** — the *Explicit Scheduling* test: a work-stealing
+  task pool where workers continuously lock queues, pop tasks, and touch
+  reference counts with atomic operations.  Synchronization density is
+  high and compute per task low, so logging every sync op is expensive
+  (paper: 2.4x LiteRace / 9.1x full logging).
+
+Neither input participates in the race study (Table 4); both appear in the
+effective-sampling-rate averages (Table 3) and the overhead study
+(Table 5 / Figure 6).  No races are planted — the runtime's own
+synchronization is correct, which the tests verify (full logging reports
+zero races).
+"""
+
+from __future__ import annotations
+
+from ..tir.addr import Param
+from ..tir.builder import ProgramBuilder
+from ..tir.program import Program
+from .patterns import RacePlan, tls_churn
+from .spec import WorkloadSpec, register
+
+__all__ = ["build_concrt_messaging", "build_concrt_scheduling"]
+
+_MESSAGES = 1500
+_TASKS = 5000
+
+
+def build_concrt_messaging(seed: int = 0, scale: float = 1.0) -> Program:
+    """Agent pairs ping-ponging messages through events."""
+    b = ProgramBuilder("concrt-messaging")
+    plan = RacePlan()
+    messages = max(10, int(_MESSAGES * scale))
+    pairs = 4
+
+    # Per-pair mailboxes: a slot plus two events (ping and pong).
+    boxes = [b.global_array(f"mailbox{p}", 4, 8) for p in range(pairs)]
+
+    with b.function("compose_message", params=1) as f:  # p0 = slot
+        tls_churn(f, slots=2)
+        f.compute(6)
+        f.write(Param(0))
+
+    with b.function("consume_message", params=1) as f:  # p0 = slot
+        f.read(Param(0))
+        tls_churn(f, slots=1)
+        f.compute(4)
+
+    # p0 = mailbox base, p1 = messages
+    with b.function("sender", params=2) as f:
+        with f.loop(Param(1)):
+            f.call("compose_message", Param(0))
+            f.notify(Param(0, 8))     # ping
+            f.io(5500)                # message latency
+            f.wait(Param(0, 16))      # pong
+
+    with b.function("receiver", params=2) as f:
+        with f.loop(Param(1)):
+            f.wait(Param(0, 8))       # ping
+            f.call("consume_message", Param(0))
+            f.io(5500)
+            f.notify(Param(0, 16))    # pong
+
+    with b.function("main", slots=2 * pairs) as f:
+        for p in range(pairs):
+            f.fork("sender", boxes[p], messages, tid_slot=2 * p)
+            f.fork("receiver", boxes[p], messages, tid_slot=2 * p + 1)
+        for s in range(2 * pairs):
+            f.join(s)
+
+    program = b.build(entry="main")
+    return plan.attach(program)
+
+
+def build_concrt_scheduling(seed: int = 0, scale: float = 1.0) -> Program:
+    """The Explicit Scheduling test: a lock-and-atomic-heavy task pool."""
+    b = ProgramBuilder("concrt-scheduling")
+    plan = RacePlan()
+    tasks = max(20, int(_TASKS * scale))
+    workers = 8
+
+    # Per-worker deques (lock + head/tail), plus a global ready counter
+    # maintained with atomic ops — the explicit-scheduling hot path.
+    deques = [b.global_array(f"deque{w}", 8, 8) for w in range(workers)]
+    ready_count = b.global_addr("ready_count")
+
+    with b.function("pop_task", params=1) as f:  # p0 = deque base
+        f.lock(Param(0))
+        f.read(Param(0, 8))
+        f.write(Param(0, 8))
+        f.unlock(Param(0))
+        f.atomic_rmw(ready_count)
+
+    with b.function("run_task", params=1) as f:  # p0 = deque base
+        f.read(Param(0, 16))
+        f.compute(30)
+        tls_churn(f, slots=1)
+        f.atomic_rmw(Param(0, 24))  # task refcount
+
+    # p0 = own deque, p1 = victim deque, p2 = tasks
+    with b.function("sched_worker", params=3) as f:
+        with f.loop(Param(2)):
+            f.call("pop_task", Param(0))
+            f.call("run_task", Param(0))
+        # Steal phase: hit the victim's deque as well.
+        with f.loop(Param(2)):
+            f.call("pop_task", Param(1))
+            f.call("run_task", Param(1))
+
+    with b.function("main", slots=workers) as f:
+        f.write(ready_count)
+        for w in range(workers):
+            f.fork("sched_worker", deques[w], deques[(w + 1) % workers],
+                   tasks // 2, tid_slot=w)
+        for w in range(workers):
+            f.join(w)
+
+    program = b.build(entry="main")
+    return plan.attach(program)
+
+
+register(WorkloadSpec(
+    name="concrt-messaging",
+    title="ConcRT Messaging",
+    description="ConcRT concurrency-suite Messaging test: agent pairs "
+                "exchanging messages through events",
+    builder=build_concrt_messaging,
+    in_race_eval=False,
+    in_overhead_eval=True,
+    paper_literace_slowdown=1.03,
+    paper_full_slowdown=1.08,
+))
+
+register(WorkloadSpec(
+    name="concrt-scheduling",
+    title="ConcRT Explicit Scheduling",
+    description="ConcRT concurrency-suite Explicit Scheduling test: "
+                "work-stealing task pool, lock- and atomic-heavy",
+    builder=build_concrt_scheduling,
+    in_race_eval=False,
+    in_overhead_eval=True,
+    paper_literace_slowdown=2.4,
+    paper_full_slowdown=9.1,
+))

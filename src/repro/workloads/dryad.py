@@ -1,0 +1,385 @@
+"""Dryad channel workloads (§5.1).
+
+The paper's Dryad benchmark exercises the shared-memory channel library
+used for communication between computing nodes of the Dryad distributed
+execution engine, in two link configurations: with and without the standard
+C library statically linked in (when linked, LiteRace instruments all the
+stdlib functions Dryad calls, which adds a large population of cold
+library-side code — and 14 additional rare races in our model).
+
+Model: ``CHANNELS`` point-to-point channels, one producer and one consumer
+thread each.  A channel is a lock + a semaphore event + head/tail/depth
+counters + a per-item stream region.  Producers write an item slot, update
+counters under the channel lock, and signal; consumers wait, update
+counters, and read the slot.  A monitor thread periodically inspects
+channel depths; two finalizer threads tear the channels down at the end.
+Worker threads start staggered (the engine brings channels up one at a
+time), so the first executions of the hot channel routines come from a
+single thread — which is precisely the situation where a *global* sampler
+has already backed off by the time later threads arrive.
+
+Planted races (ground truth attached as ``program.planted_races``):
+
+==========================  ========  ======================================
+site                        keys      archetype
+==========================  ========  ======================================
+``chan_reset``              2 (rare)  warmed cold: main warms it during
+                                      setup; the two finalizers make the
+                                      shared call → thread-local samplers
+                                      only
+``item_checksum``           1 (rare)  hot-cold: hot per-item helper; the
+                                      monitor and the lead producer each
+                                      make one shared call
+``items_transferred``       2 (freq)  warm RW in the per-1024-items stats
+                                      bump (pre-warmed by main)
+``bytes_last_item``         1 (freq)  warm W in the same stats bump
+``consumer_lag_flush``      2 (freq)  mid-frequency: consumers flush the
+                                      shared lag statistic six times per
+                                      run — too few dynamic occurrences
+                                      for random samplers, skipped
+                                      entirely by UCP
+==========================  ========  ======================================
+
+The stdlib variant keeps only ``items_transferred`` shared on the hot path
+and adds 14 rare keys in cold stdlib entry points (locale/tz/stdio/atexit/
+rand/heap setup plus hot-cold races inside ``str_hash`` and the stdio
+flush), reproducing Table 4's striking 17-rare/2-frequent split for
+Dryad+stdlib.
+"""
+
+from __future__ import annotations
+
+from ..tir.addr import Indexed, Param, Tls
+from ..tir.builder import ProgramBuilder
+from ..tir.program import Program
+from .patterns import RacePlan, RacyHelper, racy_access, tls_churn
+from .spec import PaperRaceCounts, WorkloadSpec, register
+
+__all__ = ["build_dryad", "build_dryad_stdlib"]
+
+CHANNELS = 3
+_ITEMS_FULL = 24_000
+#: Shared transfer statistics are bumped once per this many items
+#: (roughly two dozen updates per thread per run).
+_STATS_EVERY = 1024
+#: Consumers flush the shared lag statistic this many times per run.
+_FLUSH_CHUNKS = 6
+
+# Channel block layout (offsets into each channel's global array).
+_OFF_LOCK = 0
+_OFF_EVENT = 8
+_OFF_HEAD = 16
+_OFF_TAIL = 24
+_OFF_DEPTH = 32
+
+
+def _build(seed: int, scale: float, with_stdlib: bool) -> Program:
+    name = "dryad-stdlib" if with_stdlib else "dryad"
+    b = ProgramBuilder(name)
+    plan = RacePlan()
+    # Item count factors exactly into the loop nests used below:
+    #   producer: flush_chunks * per_flush * STATS_EVERY   (stats per chunk)
+    #   consumer: flush_chunks * (per_flush * STATS_EVERY) (lag per flush)
+    per_flush = max(1, round(_ITEMS_FULL * scale / (_FLUSH_CHUNKS * _STATS_EVERY)))
+    items = _FLUSH_CHUNKS * per_flush * _STATS_EVERY
+    stat_chunks = _FLUSH_CHUNKS * per_flush
+    # Channel transfer latency per item: the plain build waits on the
+    # (slow) shared-memory pipe; the stdlib build does more CPU-side
+    # buffering per item instead (see the calibration notes in
+    # runtime/cost.py and EXPERIMENTS.md).
+    item_io = 3000 if with_stdlib else 8000
+    #: Channel bring-up is staggered: successive workers start roughly
+    #: this many cycles apart (~40 items of the first producer).
+    stagger = item_io * 40
+
+    # -- shared state ------------------------------------------------------
+    chans = [b.global_array(f"chan{c}", 8, 8) for c in range(CHANNELS)]
+    streams = [b.global_array(f"stream{c}", items, 8) for c in range(CHANNELS)]
+    xfer = b.global_addr("items_transferred")
+    if with_stdlib:
+        # Per-channel (uncontended) stats: with the stdlib linked in, only
+        # items_transferred remains shared hot state.
+        lags = [b.global_addr(f"consumer_lag{c}") for c in range(CHANNELS)]
+        sizes = [b.global_addr(f"bytes_last{c}") for c in range(CHANNELS)]
+    else:
+        lags = [b.global_addr("consumer_lag")] * CHANNELS
+        sizes = [b.global_addr("bytes_last_item")] * CHANNELS
+
+    # -- racy helpers --------------------------------------------------------
+    # Warmed-cold: channel-stats reset, warmed by main, raced by finalizers.
+    chan_reset = RacyHelper(b, plan, "chan_reset", payload_reads=2,
+                            expect_rare=True)
+    # Hot-cold: per-item checksum helper (write-only racy slot).
+    checksum = RacyHelper(b, plan, "item_checksum", read=False,
+                          payload_reads=3, expect_rare=True)
+    # Mid-frequency: shared lag statistic flushed every few thousand items.
+    lag_flush = RacyHelper(b, plan, "consumer_lag_flush", payload_reads=1,
+                           expect_rare=False, registered=not with_stdlib)
+
+    if with_stdlib:
+        # Hot stdlib routines called per item (instrumented because the
+        # library is statically linked).
+        with b.function("mem_copy", params=2) as f:
+            with f.loop(12):
+                f.read(Indexed(Param(0), 8, 0))
+                f.write(Indexed(Param(1), 8, 0))
+        # Hot-cold: string hashing used per item by consumers; the monitor
+        # and a finalizer also hash a shared key once.
+        str_hash = RacyHelper(b, plan, "str_hash", payload_reads=3,
+                              expect_rare=True)
+        # Hot-cold: buffered-IO flush mark inside a hot helper.
+        buf_flush = RacyHelper(b, plan, "stdio_buf_flush", read=False,
+                               payload_reads=1, expect_rare=True)
+        # Warmed-cold stdlib per-thread initialization entry points.
+        locale_init = RacyHelper(b, plan, "locale_init", expect_rare=True)
+        tz_init = RacyHelper(b, plan, "tz_init", expect_rare=True)
+        io_buf_init = RacyHelper(b, plan, "io_buf_init", expect_rare=True)
+        # Cold-cold teardown / monitor sites.
+        atexit_reg = RacyHelper(b, plan, "atexit_register", expect_rare=True)
+        rand_seed = RacyHelper(b, plan, "rand_seed_init", expect_rare=True)
+        heap_trim = RacyHelper(b, plan, "heap_trim_hint", read=False,
+                               expect_rare=True)
+        # A family of cold one-shot stdlib stubs (drives function count and
+        # the cold-code mass of the +stdlib configuration; Table 2).
+        for index in range(40):
+            with b.function(f"stdlib_stub_{index}") as f:
+                f.read(Tls(64 + 8 * index))
+                f.compute(1)
+                f.write(Tls(64 + 8 * index))
+
+    # -- channel operations --------------------------------------------------
+    # p0 = channel base
+    with b.function("chan_push", params=1) as f:
+        f.lock(Param(0, _OFF_LOCK))
+        f.read(Param(0, _OFF_TAIL))
+        f.write(Param(0, _OFF_TAIL))
+        f.read(Param(0, _OFF_DEPTH))
+        f.write(Param(0, _OFF_DEPTH))
+        f.unlock(Param(0, _OFF_LOCK))
+        f.notify(Param(0, _OFF_EVENT))
+
+    # Shared transfer statistics, updated once per ``_STATS_EVERY`` items
+    # (a per-request counter would manifest tens of thousands of times and
+    # saturate every sampler; real frequent races recur at a human scale).
+    # p0 = size-stat addr.
+    with b.function("bump_channel_stats", params=1) as f:
+        plan.site("items_transferred", racy_access(f, xfer),
+                  expect_rare=False)
+        size_site = racy_access(f, Param(0), read=False)
+        f.compute(1)
+    if not with_stdlib:
+        plan.site("bytes_last_item", size_site, expect_rare=False)
+
+    # p0 = channel base
+    with b.function("chan_pop", params=1) as f:
+        f.wait(Param(0, _OFF_EVENT))
+        f.lock(Param(0, _OFF_LOCK))
+        f.read(Param(0, _OFF_HEAD))
+        f.write(Param(0, _OFF_HEAD))
+        f.read(Param(0, _OFF_DEPTH))
+        f.write(Param(0, _OFF_DEPTH))
+        f.unlock(Param(0, _OFF_LOCK))
+        f.compute(2)
+
+    # -- per-item helpers ---------------------------------------------------
+    # Hot work lives in helpers so that sampling operates at a meaningful
+    # granularity (a thread-main's inline loop would be covered by a single
+    # dispatch decision — the §7 pathology).
+    with b.function("produce_item", params=1) as f:  # p0 = stream slot
+        tls_churn(f, slots=2)
+        f.compute(4)
+        f.write(Param(0))
+
+    with b.function("consume_item", params=1) as f:  # p0 = stream slot
+        f.read(Param(0))
+        tls_churn(f, slots=2)
+        f.compute(3)
+
+    # -- worker threads --------------------------------------------------------
+    # Producer params: p0 channel, p1 stream, p2 size-stat,
+    # p3 locale-init target, p4 iobuf-init target, p5 start stagger.
+    with b.function("producer", params=6) as f:
+        f.io(Param(5))
+        if with_stdlib:
+            locale_init.call_with(f, Param(3))
+            io_buf_init.call_with(f, Param(4))
+        with f.loop(stat_chunks):
+            with f.loop(_STATS_EVERY):
+                f.io(item_io)
+                f.call(
+                    "produce_item",
+                    Indexed(Indexed(Param(1), 8 * _STATS_EVERY, 1), 8, 0),
+                )
+                checksum.call_tls(f, 1024)
+                if with_stdlib:
+                    f.call("mem_copy", Tls(2048), Tls(2304))
+                    buf_flush.call_tls(f, 1536)
+                f.call("chan_push", Param(0))
+            f.call("bump_channel_stats", Param(2))
+
+    with b.function("producer_lead", params=6) as f:
+        f.call("producer", *[Param(i) for i in range(6)])
+        # Lead producer's one cold use of the (by now hot) checksum helper.
+        checksum.call_shared(f)
+        if with_stdlib:
+            buf_flush.call_shared(f)
+
+    # Consumer params: p0 channel, p1 stream, p2 lag-stat, p3 tz-init
+    # target, p4 start stagger.
+    with b.function("consumer", params=5) as f:
+        f.io(Param(4))
+        if with_stdlib:
+            tz_init.call_with(f, Param(3))
+        with f.loop(_FLUSH_CHUNKS):
+            with f.loop(per_flush):
+                with f.loop(_STATS_EVERY):
+                    f.call("chan_pop", Param(0))
+                    f.io(item_io)
+                    f.call(
+                        "consume_item",
+                        Indexed(
+                            Indexed(
+                                Indexed(Param(1),
+                                        8 * _STATS_EVERY * per_flush, 2),
+                                8 * _STATS_EVERY, 1),
+                            8, 0),
+                    )
+                    if with_stdlib:
+                        str_hash.call_tls(f, 2048)
+            lag_flush.call_with(f, Param(2))
+
+    with b.function("monitor") as f:
+        with f.loop(4):
+            f.io(max(2000, items * item_io // 4))
+            for chan in chans:
+                f.lock(chan + _OFF_LOCK)
+                f.read(chan + _OFF_DEPTH)
+                f.unlock(chan + _OFF_LOCK)
+            tls_churn(f, slots=1)
+        checksum.call_shared(f)
+        if with_stdlib:
+            buf_flush.call_shared(f)
+            str_hash.call_shared(f)
+            rand_seed.call_shared(f)
+            heap_trim.call_shared(f)
+
+    # Finalizer params: p0 rand-seed target, p1 heap-trim target, p2
+    # str-hash target (racing pairs in the stdlib build: rand pairs
+    # finalizer 0 with the monitor, heap pairs finalizer 1 with the
+    # monitor, str_hash pairs finalizer 1 with the monitor, atexit pairs
+    # the two finalizers).
+    with b.function("finalizer", params=3) as f:
+        tls_churn(f, slots=2)
+        chan_reset.call_shared(f)
+        if with_stdlib:
+            atexit_reg.call_shared(f)
+            rand_seed.call_with(f, Param(0))
+            heap_trim.call_with(f, Param(1))
+            str_hash.call_with(f, Param(2))
+        f.compute(4)
+
+    # -- main ------------------------------------------------------------------
+    n_workers = 2 * CHANNELS
+    with b.function("main", slots=n_workers + 3) as f:
+        # Setup: initialize channel blocks and warm the reset helper.
+        for chan in chans:
+            for off in (_OFF_HEAD, _OFF_TAIL, _OFF_DEPTH):
+                f.write(chan + off)
+        with f.loop(40):
+            chan_reset.call_private(f, "main")
+            f.compute(2)
+        # The engine has been running long before this measured window:
+        # pre-warm the hot statistics routines so samplers see them as the
+        # hot functions they are (main-thread accesses are fork-ordered,
+        # hence race-free).
+        with f.loop(2000):
+            f.call("bump_channel_stats", b.global_addr("bytes_warm"))
+        if with_stdlib:
+            for index in range(40):
+                f.call(f"stdlib_stub_{index}")
+            with f.loop(30):
+                locale_init.call_private(f, "main")
+                tz_init.call_private(f, "main")
+                io_buf_init.call_private(f, "main")
+        f.fork("monitor", tid_slot=n_workers)
+        slot = 0
+        for c in range(CHANNELS):
+            producer_fn = "producer_lead" if c == 0 else "producer"
+            # Designated racing pairs for the stdlib init helpers:
+            #   locale_init: producers of channels 0 and 1
+            #   io_buf_init: producers of channels 1 and 2
+            #   tz_init:     consumers of channels 0 and 1
+            p_args = (
+                chans[c], streams[c], sizes[c],
+                locale_init.shared if with_stdlib and c in (0, 1)
+                else 0 if not with_stdlib
+                else locale_init.private_addr(f"p{c}"),
+                io_buf_init.shared if with_stdlib and c in (1, 2)
+                else 0 if not with_stdlib
+                else io_buf_init.private_addr(f"p{c}"),
+                stagger * (2 * c),
+            )
+            c_args = (
+                chans[c], streams[c], lags[c],
+                tz_init.shared if with_stdlib and c in (0, 1)
+                else 0 if not with_stdlib
+                else tz_init.private_addr(f"c{c}"),
+                stagger * (2 * c + 1),
+            )
+            f.fork(producer_fn, *p_args, tid_slot=slot)
+            f.fork("consumer", *c_args, tid_slot=slot + 1)
+            slot += 2
+        for s in range(n_workers):
+            f.join(s)
+        if with_stdlib:
+            fin0_args = (rand_seed.shared, heap_trim.private_addr("f0"),
+                         str_hash.private_addr("f0"))
+            fin1_args = (rand_seed.private_addr("f1"), heap_trim.shared,
+                         str_hash.shared)
+        else:
+            fin0_args = (0, 0, 0)
+            fin1_args = (0, 0, 0)
+        f.fork("finalizer", *fin0_args, tid_slot=n_workers + 1)
+        f.fork("finalizer", *fin1_args, tid_slot=n_workers + 2)
+        f.join(n_workers + 1)
+        f.join(n_workers + 2)
+        f.join(n_workers)
+
+    program = b.build(entry="main")
+    return plan.attach(program)
+
+
+def build_dryad(seed: int = 0, scale: float = 1.0) -> Program:
+    """Dryad channel test without the statically linked C library."""
+    return _build(seed, scale, with_stdlib=False)
+
+
+def build_dryad_stdlib(seed: int = 0, scale: float = 1.0) -> Program:
+    """Dryad channel test with the C library statically linked in."""
+    return _build(seed, scale, with_stdlib=True)
+
+
+register(WorkloadSpec(
+    name="dryad",
+    title="Dryad Channel",
+    description="Shared-memory channel library of the Dryad execution engine",
+    builder=build_dryad,
+    in_race_eval=True,
+    in_overhead_eval=True,
+    paper_races=PaperRaceCounts(total=8, rare=3, frequent=5),
+    paper_literace_slowdown=1.0,
+    paper_full_slowdown=1.14,
+))
+
+register(WorkloadSpec(
+    name="dryad-stdlib",
+    title="Dryad Channel + stdlib",
+    description="Dryad channel test with the standard C library statically "
+                "linked (stdlib functions instrumented too)",
+    builder=build_dryad_stdlib,
+    in_race_eval=True,
+    in_overhead_eval=True,
+    paper_races=PaperRaceCounts(total=19, rare=17, frequent=2),
+    paper_literace_slowdown=1.0,
+    paper_full_slowdown=1.8,
+))

@@ -1,0 +1,381 @@
+"""Firefox web-browser workloads (§5.1).
+
+Two scenarios, as in the paper:
+
+* **firefox-start** — browser start-up: profile load, a large population of
+  one-shot component-registration functions (Firefox has by far the most
+  functions in Table 2), then an event-loop warm-up across helper threads
+  that come up staggered, as browser services do.
+* **firefox-render** — rendering a page of 2500 positioned DIVs: layout
+  workers sweep disjoint slices of the DIV array through a hot per-DIV
+  style/layout/paint helper over multiple passes, alongside image-decoder,
+  font and compositor threads.
+
+Planted races (Table 4: start 12 = 5 rare + 7 frequent; render 16 =
+10 rare + 6 frequent):
+
+``firefox-start``
+  rare: ``pref_service_init`` (RW, warmed cold), ``startup_cache_flag``
+  (RW, cold-cold), ``telemetry_mark`` (W, hot-cold);
+  frequent: ``event_count`` (RW) and ``paint_pending`` (W) in the warm
+  per-200-iterations stat bump, ``layout_queue_flush`` (RW,
+  mid-frequency), ``js_gc_hint`` (RW, late-frequent).
+
+``firefox-render``
+  rare: ``font_cache_init`` (RW, warmed), ``image_decoder_init`` (RW,
+  warmed), ``glyph_cache_resize`` (RW, cold-cold), ``texture_upload_mark``
+  (RW, hot-cold), ``dirty_region_merge`` (W, cold-cold),
+  ``frame_budget_hint`` (W, warmed);
+  frequent: ``frames_painted`` (RW), ``invalidate_flag`` (W) and
+  ``vsync_mark`` (W, late-frequent) in the warm per-pass stat bump,
+  ``style_cache_flush`` (RW, mid-frequency).
+"""
+
+from __future__ import annotations
+
+from ..tir.addr import Indexed, Param, Tls
+from ..tir.builder import ProgramBuilder
+from ..tir.program import Program
+from .patterns import RacePlan, RacyHelper, racy_access, tls_churn
+from .spec import PaperRaceCounts, WorkloadSpec, register
+
+__all__ = ["build_firefox_start", "build_firefox_render"]
+
+
+# ----------------------------------------------------------------------
+# firefox-start
+# ----------------------------------------------------------------------
+_START_ITERS = 16_000
+_REGISTRATION_STUBS = 80
+_START_HELPERS = 4
+
+
+def build_firefox_start(seed: int = 0, scale: float = 1.0) -> Program:
+    """Browser start-up: component registration plus event-loop warm-up."""
+    b = ProgramBuilder("firefox-start")
+    plan = RacePlan()
+    iters = max(80, int(_START_ITERS * scale))
+    # Each helper runs two phases, each split into two flush chunks, each
+    # split into 200-iteration stat sub-chunks.
+    chunk = max(200, iters // (_START_HELPERS * 2 * 2) // 200 * 200)
+    stagger = chunk * 120
+
+    event_count = b.global_addr("event_count")
+    js_gc_hint = b.global_addr("js_gc_hint")
+    paint_pending = b.global_addr("paint_pending")
+    pref_table = b.global_array("pref_table", 48, 8)
+    status_table = b.global_array("status_table", 32, 8)
+
+    pref_init = RacyHelper(b, plan, "pref_service_init", payload_reads=2,
+                           expect_rare=True)
+    cache_flag = RacyHelper(b, plan, "startup_cache_flag", expect_rare=True)
+    telemetry = RacyHelper(b, plan, "telemetry_mark", read=False,
+                           expect_rare=True)
+    layout_flush = RacyHelper(b, plan, "layout_queue_flush", payload_reads=1,
+                              expect_rare=False)
+
+    # One-shot component registration stubs: the cold-function mass that
+    # makes Firefox the largest binary of Table 2.
+    for index in range(_REGISTRATION_STUBS):
+        with b.function(f"register_component_{index}") as f:
+            f.read(pref_table + 8 * (index % 48))
+            f.compute(2)
+            f.write(Tls(96 + 8 * (index % 32)))
+
+    # Hot event-loop helpers.  The status table is written once by the
+    # main thread during startup and only read afterwards.
+    with b.function("dispatch_event") as f:
+        tls_churn(f, slots=1)
+        f.compute(2)
+        with f.loop(8):
+            f.read(Indexed(status_table, 8, 0))
+        f.write(Tls(24))
+        telemetry.call_tls(f, 512)
+
+    with b.function("style_flush") as f:
+        f.read(pref_table)
+        f.compute(2)
+        with f.loop(8):
+            f.read(Indexed(status_table, 8, 0))
+        f.write(Tls(32))
+
+    with b.function("js_tick", params=1) as f:  # p0 = gc-hint target
+        tls_churn(f, slots=1)
+        f.compute(3)
+        with f.loop(4):
+            f.read(Indexed(status_table, 8, 0))
+        plan.site("js_gc_hint", racy_access(f, Param(0)), expect_rare=False)
+
+    # Shared event statistics, bumped once per sub-chunk of the event loop.
+    with b.function("bump_event_stats") as f:
+        plan.site("event_count", racy_access(f, event_count),
+                  expect_rare=False)
+        plan.site("paint_pending",
+                  racy_access(f, paint_pending, read=False),
+                  expect_rare=False)
+        f.compute(1)
+
+    # Helper threads.  Params: p0 pref-init target, p1 gc-hint target
+    # (early phase), p2 gc-hint target (late phase), p3 start stagger.
+    def helper_phase(f, gc_target):
+        with f.loop(2):
+            with f.loop(chunk // 200):
+                with f.loop(200):
+                    f.call("dispatch_event")
+                    f.call("style_flush")
+                    f.call("js_tick", gc_target)
+                f.call("bump_event_stats")
+            layout_flush.call_shared(f)
+
+    with b.function("helper", params=4) as f:
+        f.io(Param(3))
+        pref_init.call_with(f, Param(0))
+        helper_phase(f, Param(1))
+        helper_phase(f, Param(2))
+
+    with b.function("helper_lead", params=4) as f:
+        f.call("helper", Param(0), Param(1), Param(2), Param(3))
+        # After two hot phases: the hot-cold shared telemetry write.
+        telemetry.call_shared(f)
+
+    with b.function("io_thread") as f:
+        with f.loop(6):
+            f.io(max(500, iters * 45))
+            tls_churn(f, slots=2)
+        cache_flag.call_shared(f)
+
+    with b.function("timer_thread") as f:
+        with f.loop(8):
+            f.io(max(400, iters * 22))
+            f.compute(2)
+        cache_flag.call_shared(f)
+        telemetry.call_shared(f)
+
+    with b.function("main", slots=_START_HELPERS + 2) as f:
+        # Profile load + XPCOM startup: warms the init and flush helpers.
+        for index in range(48):
+            f.write(pref_table + 8 * index)
+        for index in range(32):
+            f.write(status_table + 8 * index)
+        with f.loop(30):
+            pref_init.call_private(f, "xpcom")
+            layout_flush.call_private(f, "xpcom")
+            f.compute(3)
+        # Session restore replays a burst of events before the helpers
+        # start: the stat routines are already hot (main-thread accesses
+        # are fork-ordered, hence race-free).
+        with f.loop(2000):
+            f.call("bump_event_stats")
+        for index in range(_REGISTRATION_STUBS):
+            f.call(f"register_component_{index}")
+        f.fork("io_thread", tid_slot=_START_HELPERS)
+        f.fork("timer_thread", tid_slot=_START_HELPERS + 1)
+        for h in range(_START_HELPERS):
+            fn = "helper_lead" if h == 0 else "helper"
+            args = (
+                pref_init.shared if h in (2, 3)
+                else pref_init.private_addr(h),
+                b.global_addr(f"gc_hint_{h}"),   # early phase: private
+                js_gc_hint,                      # late phase: shared
+                stagger * h,
+            )
+            f.fork(fn, *args, tid_slot=h)
+        for h in range(_START_HELPERS):
+            f.join(h)
+        f.join(_START_HELPERS)
+        f.join(_START_HELPERS + 1)
+
+    program = b.build(entry="main")
+    return plan.attach(program)
+
+
+# ----------------------------------------------------------------------
+# firefox-render
+# ----------------------------------------------------------------------
+_DIVS = 2500
+_PASSES = 10
+_RENDER_WORKERS = 4
+
+
+def build_firefox_render(seed: int = 0, scale: float = 1.0) -> Program:
+    """Rendering an HTML page of 2500 positioned DIVs."""
+    b = ProgramBuilder("firefox-render")
+    plan = RacePlan()
+    passes = max(2, int(_PASSES * scale) // 2 * 2)
+    slice_len = _DIVS // _RENDER_WORKERS
+    stagger = slice_len * 80
+
+    divs = b.global_array("div_array", _DIVS, 16)
+    frames_painted = b.global_addr("frames_painted")
+    invalidate_flag = b.global_addr("invalidate_flag")
+    vsync_mark = b.global_addr("vsync_mark")
+
+    font_init = RacyHelper(b, plan, "font_cache_init", payload_reads=2,
+                           expect_rare=True)
+    img_init = RacyHelper(b, plan, "image_decoder_init", expect_rare=True)
+    glyph_resize = RacyHelper(b, plan, "glyph_cache_resize", expect_rare=True)
+    texture_mark = RacyHelper(b, plan, "texture_upload_mark",
+                              expect_rare=True)
+    frame_budget = RacyHelper(b, plan, "frame_budget_hint", read=False,
+                              expect_rare=True)
+    style_cache = RacyHelper(b, plan, "style_cache_flush", payload_reads=1,
+                             expect_rare=False)
+
+    # Hot per-DIV helper: style + layout + paint for one DIV.  A single
+    # function keeps the dispatch-check cost per DIV at one check (plus
+    # the texture helper), which is what gives the paper's modest 1.3x
+    # LiteRace overhead next to its enormous 33.5x full-logging overhead:
+    # render is almost all loggable memory traffic.
+    # Read-only style-rule table (written by main before the workers fork).
+    style_rules = b.global_array("style_rules", 64, 8)
+
+    # p0 = div record address.
+    with b.function("render_div", params=1) as f:
+        # style: match against the rule table, then update the div record.
+        f.read(Param(0))
+        with f.loop(8):
+            f.read(Indexed(style_rules, 8, 0))
+        f.compute(14)
+        f.write(Param(0, 8))
+        # layout
+        f.read(Param(0, 8))
+        f.compute(16)
+        f.write(Param(0))
+        tls_churn(f, slots=3)
+        # paint
+        f.read(Param(0))
+        f.read(Param(0, 8))
+        f.compute(15)
+        texture_mark.call_tls(f, 640)
+
+    # Shared frame statistics, bumped once per sub-slice of each sweep.
+    # p0 = vsync-mark target.
+    with b.function("bump_paint_stats", params=1) as f:
+        plan.site("frames_painted", racy_access(f, frames_painted),
+                  expect_rare=False)
+        plan.site("invalidate_flag",
+                  racy_access(f, invalidate_flag, read=False),
+                  expect_rare=False)
+        vsync_site = racy_access(f, Param(0), read=False)
+        f.compute(1)
+    plan.site("vsync_mark", vsync_site, expect_rare=False)
+
+    # Layout workers sweep a disjoint slice of the DIV array; the shared
+    # style cache is flushed once per two passes (mid-frequency).
+    # Params: p0 slice base, p1 font target, p2 vsync private (early
+    # passes), p3 vsync shared (late passes), p4 start stagger.
+    def sweep_phase(f, vsync_target):
+        with f.loop(passes // 2):
+            with f.loop(2):
+                with f.loop(slice_len):
+                    f.call("render_div", Indexed(Param(0), 16, 0))
+                f.call("bump_paint_stats", vsync_target)
+            style_cache.call_shared(f)
+
+    with b.function("render_worker", params=5) as f:
+        f.io(Param(4))
+        font_init.call_with(f, Param(1))
+        sweep_phase(f, Param(2))
+        sweep_phase(f, Param(3))
+
+    with b.function("render_worker_lead", params=5) as f:
+        f.call("render_worker", *[Param(i) for i in range(5)])
+        texture_mark.call_shared(f)
+
+    with b.function("image_decoder", params=1) as f:  # p0 img-init target
+        img_init.call_with(f, Param(0))
+        with f.loop(12):
+            f.io(max(300, passes * slice_len * 12))
+            tls_churn(f, slots=2)
+            f.compute(8)
+        glyph_resize.call_shared(f)
+        frame_budget.call_shared(f)
+
+    with b.function("font_loader", params=2) as f:  # p0 font, p1 img target
+        font_init.call_with(f, Param(0))
+        img_init.call_with(f, Param(1))
+        with f.loop(6):
+            f.io(max(300, passes * slice_len * 20))
+            f.compute(4)
+        glyph_resize.call_shared(f)
+        dirty_a = f.write(b.global_addr("dirty_region"))
+
+    with b.function("compositor") as f:
+        with f.loop(10):
+            f.io(max(300, passes * slice_len * 14))
+            f.compute(3)
+        texture_mark.call_shared(f)
+        frame_budget.call_shared(f)
+        dirty_b = f.write(b.global_addr("dirty_region"))
+    plan.site("dirty_region_merge", [dirty_a, dirty_b], expect_rare=True,
+              self_pairs=False)
+
+    with b.function("main", slots=_RENDER_WORKERS + 3) as f:
+        # Parse + frame-tree construction: warms the init/flush helpers.
+        with f.loop(64):
+            f.write(Indexed(style_rules, 8, 0))
+        with f.loop(30):
+            font_init.call_private(f, "parse")
+            img_init.call_private(f, "parse")
+            frame_budget.call_private(f, "parse")
+            style_cache.call_private(f, "parse")
+            f.compute(3)
+        # The first (unmeasured) paint of the page happens during parse:
+        # the stat routines are already hot (fork-ordered, race-free).
+        with f.loop(2000):
+            f.call("bump_paint_stats", b.global_addr("vsync_warm"))
+        with f.loop(64):
+            f.write(Indexed(divs, 16, 0))
+        # Racing pairs: image_decoder_init — decoder + font loader;
+        # font_cache_init — font loader + render worker 1; the other
+        # shared calls (glyph/texture/budget/dirty) pair the long-lived
+        # background threads, which share no locks and stay concurrent.
+        f.fork("image_decoder", img_init.shared,
+               tid_slot=_RENDER_WORKERS)
+        f.fork("font_loader", font_init.shared, img_init.shared,
+               tid_slot=_RENDER_WORKERS + 1)
+        f.fork("compositor", tid_slot=_RENDER_WORKERS + 2)
+        for w in range(_RENDER_WORKERS):
+            fn = "render_worker_lead" if w == 0 else "render_worker"
+            args = (
+                divs + 16 * slice_len * w,
+                font_init.shared if w == 1 else font_init.private_addr(w),
+                b.global_addr(f"vsync_{w}"),
+                vsync_mark,
+                stagger * w,
+            )
+            f.fork(fn, *args, tid_slot=w)
+        for w in range(_RENDER_WORKERS):
+            f.join(w)
+        f.join(_RENDER_WORKERS)
+        f.join(_RENDER_WORKERS + 1)
+        f.join(_RENDER_WORKERS + 2)
+
+    program = b.build(entry="main")
+    return plan.attach(program)
+
+
+register(WorkloadSpec(
+    name="firefox-start",
+    title="Firefox Start",
+    description="Firefox browser start-up (profile load, component "
+                "registration, event-loop warm-up)",
+    builder=build_firefox_start,
+    in_race_eval=True,
+    in_overhead_eval=True,
+    paper_races=PaperRaceCounts(total=12, rare=5, frequent=7),
+    paper_literace_slowdown=1.44,
+    paper_full_slowdown=8.89,
+))
+
+register(WorkloadSpec(
+    name="firefox-render",
+    title="Firefox Render",
+    description="Firefox rendering an HTML page with 2500 positioned DIVs",
+    builder=build_firefox_render,
+    in_race_eval=True,
+    in_overhead_eval=True,
+    paper_races=PaperRaceCounts(total=16, rare=10, frequent=6),
+    paper_literace_slowdown=1.3,
+    paper_full_slowdown=33.5,
+))

@@ -1,0 +1,132 @@
+"""Synchronization-intensive microbenchmarks (§5.4).
+
+LKRHash and LFList are the paper's adverse-case stress tests: they execute
+synchronization operations far more frequently than the real applications,
+and since LiteRace must log *every* synchronization operation to stay free
+of false positives, they bound its worst-case overhead (paper: 2.4x and
+2.1x for LiteRace, 14.7x and 16.1x for full logging).
+
+* **LKRHash** — a high-throughput hash table combining lock-free techniques
+  (interlocked operations on bucket headers) with high-level locks (table
+  segment locks).  Modelled as 8 threads hammering segmented buckets:
+  every operation does an atomic probe, a segment-lock critical section,
+  and a handful of memory accesses.
+* **LFList** — a lock-free linked list: every operation traverses nodes
+  (reads) and publishes with compare-and-exchange; no locks at all.
+
+Neither is part of the race study; no races are planted.
+"""
+
+from __future__ import annotations
+
+from ..tir.addr import Indexed, Param
+from ..tir.builder import ProgramBuilder
+from ..tir.program import Program
+from .patterns import RacePlan, tls_churn
+from .spec import WorkloadSpec, register
+
+__all__ = ["build_lkrhash", "build_lflist"]
+
+_HASH_OPS = 6000
+_LIST_OPS = 5000
+_THREADS = 8
+
+
+def build_lkrhash(seed: int = 0, scale: float = 1.0) -> Program:
+    """LKRHash: segmented hash table, locks plus interlocked operations."""
+    b = ProgramBuilder("lkrhash")
+    plan = RacePlan()
+    ops = max(20, int(_HASH_OPS * scale))
+    segments = 16
+
+    # Per-segment: lock + bucket head + chain entries + count.
+    segs = [b.global_array(f"segment{s}", 8, 8) for s in range(segments)]
+
+    # p0 = segment base.  One hash-table operation.
+    with b.function("hash_op", params=1) as f:
+        f.atomic_rmw(Param(0, 8))       # lock-free probe of the bucket head
+        f.lock(Param(0))                # segment lock for the update
+        f.read(Param(0, 24))            # walk the bucket chain
+        f.read(Param(0, 32))
+        f.read(Param(0, 40))
+        f.read(Param(0, 16))
+        f.write(Param(0, 16))
+        f.unlock(Param(0))
+        tls_churn(f, slots=1)
+        f.compute(4)
+
+    # p0 = worker index (selects the segment stride), p1 = ops
+    with b.function("hash_worker", params=2) as f:
+        for s in range(segments):
+            with f.loop(Param(1)):
+                f.call("hash_op", segs[s])
+
+    with b.function("main", slots=_THREADS) as f:
+        for s in range(segments):
+            f.write(segs[s] + 16)
+        for w in range(_THREADS):
+            f.fork("hash_worker", w, max(1, ops // segments), tid_slot=w)
+        for w in range(_THREADS):
+            f.join(w)
+
+    program = b.build(entry="main")
+    return plan.attach(program)
+
+
+def build_lflist(seed: int = 0, scale: float = 1.0) -> Program:
+    """LFList: a lock-free linked list (CAS-published updates)."""
+    b = ProgramBuilder("lflist")
+    plan = RacePlan()
+    ops = max(20, int(_LIST_OPS * scale))
+    nodes = 48
+
+    node_array = b.global_array("nodes", nodes, 16)
+    head = b.global_addr("list_head")
+
+    # One list operation: traverse a prefix of the list, then CAS-publish.
+    with b.function("list_op") as f:
+        f.atomic_rmw(head)                     # load head with a CAS probe
+        with f.loop(8):
+            f.read(Indexed(node_array, 16, 0))  # traverse next pointers
+        f.compute(35)                           # key comparisons / hashing
+        f.atomic_rmw(node_array + 8)           # CAS the insertion point
+        tls_churn(f, slots=1)
+
+    with b.function("list_worker", params=1) as f:
+        with f.loop(Param(0)):
+            f.call("list_op")
+
+    with b.function("main", slots=_THREADS) as f:
+        with f.loop(nodes):
+            f.write(Indexed(node_array, 16, 0))
+        for w in range(_THREADS):
+            f.fork("list_worker", ops, tid_slot=w)
+        for w in range(_THREADS):
+            f.join(w)
+
+    program = b.build(entry="main")
+    return plan.attach(program)
+
+
+register(WorkloadSpec(
+    name="lkrhash",
+    title="LKRHash",
+    description="Hash table combining lock-free techniques with high-level "
+                "synchronization (sync-intensive microbenchmark)",
+    builder=build_lkrhash,
+    in_race_eval=False,
+    in_overhead_eval=True,
+    paper_literace_slowdown=2.4,
+    paper_full_slowdown=14.7,
+))
+
+register(WorkloadSpec(
+    name="lflist",
+    title="LFList",
+    description="Lock-free linked list (CAS-heavy microbenchmark)",
+    builder=build_lflist,
+    in_race_eval=False,
+    in_overhead_eval=True,
+    paper_literace_slowdown=2.1,
+    paper_full_slowdown=16.1,
+))

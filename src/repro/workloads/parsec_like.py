@@ -1,0 +1,83 @@
+"""A PARSEC-style scientific workload (§7, future work).
+
+The paper observes that function-granularity sampling suits server and GUI
+applications but not compute-bound scientific programs, whose threads spend
+their lives inside a few high-trip-count loops: one dispatch decision then
+covers millions of iterations, so the effective sampling rate degenerates
+to ~100% (the whole run is one "first call").  §7 proposes loop-granularity
+sampling as the fix.
+
+This workload is deliberately built that way: each worker runs one long
+option-pricing-style loop *inline* in its thread function.  The ablation
+experiment (``repro.experiments.ablations``) applies
+:func:`repro.core.instrument.split_loops` and shows the effective sampling
+rate dropping from ~100% to the adaptive floor while the planted cold race
+is still found.
+
+One rare race is planted: two workers write the shared ``residual_norm``
+accumulator once at the end of their sweep (cold-cold).
+"""
+
+from __future__ import annotations
+
+from ..tir.addr import Indexed, Param
+from ..tir.builder import ProgramBuilder
+from ..tir.program import Program
+from .patterns import RacePlan, racy_access
+from .spec import WorkloadSpec, register
+
+__all__ = ["build_parsec_like", "ITERATIONS"]
+
+ITERATIONS = 40_000
+_WORKERS = 4
+
+
+def build_parsec_like(seed: int = 0, scale: float = 1.0) -> Program:
+    """Compute-bound workload with hot inline loops (loop-split candidate)."""
+    b = ProgramBuilder("parsec-like")
+    plan = RacePlan()
+    # Keep the trip count a multiple of the default split chunk (100).
+    iterations = max(200, int(ITERATIONS * scale) // 100 * 100)
+
+    # Sized to the sweep so the strided reads stay inside the array.
+    inputs = b.global_array("option_inputs", iterations, 8)
+    outputs = [b.global_array(f"prices_{w}", iterations, 8)
+               for w in range(_WORKERS)]
+    residual = b.global_addr("residual_norm")
+
+    # p0 = output slice base, p1 = residual target.  The trip count is a
+    # *static* constant, as it would be after constant propagation in a
+    # compiled kernel — which is exactly what makes the loop a candidate
+    # for the §7 loop-splitting rewrite.
+    with b.function("price_worker", params=2) as f:
+        with f.loop(iterations):
+            f.read(Indexed(inputs, 8, 0))
+            f.compute(6)
+            f.write(Indexed(Param(0), 8, 0))
+        # Cold epilogue: publish the residual without synchronization.
+        site = racy_access(f, Param(1), read=False)
+    plan.site("residual_norm", site, expect_rare=True)
+
+    with b.function("main", slots=_WORKERS) as f:
+        with f.loop(128):
+            f.write(Indexed(inputs, 8, 0))
+        for w in range(_WORKERS):
+            # Workers 1 and 2 race on the shared residual accumulator.
+            target = residual if w in (1, 2) else b.global_addr(f"res_{w}")
+            f.fork("price_worker", outputs[w], target, tid_slot=w)
+        for w in range(_WORKERS):
+            f.join(w)
+
+    program = b.build(entry="main")
+    return plan.attach(program)
+
+
+register(WorkloadSpec(
+    name="parsec-like",
+    title="PARSEC-like",
+    description="Compute-bound scientific kernel with high-trip-count "
+                "inline loops (the §7 loop-granularity case study)",
+    builder=build_parsec_like,
+    in_race_eval=False,
+    in_overhead_eval=False,
+))

@@ -1,0 +1,226 @@
+"""Reusable building blocks for workload models.
+
+The benchmark programs share a small vocabulary of multithreaded patterns:
+worker pools, properly locked shared updates, thread-local churn, and —
+deliberately — racy sites of the two populations the paper studies:
+
+* **cold races** (§3.4's cold-region hypothesis): accesses in rarely
+  executed code — per-thread initialization, error paths, utility functions
+  that are globally hot but cold for the racing thread;
+* **hot races**: unprotected accesses in per-request/per-item fast paths,
+  manifesting many times per run.
+
+Race sites are registered in a :class:`RacePlan`; after the program is
+built the plan resolves each site's instructions to PC pairs and attaches
+the ground truth to the program as ``program.planted_races``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..tir.builder import FunctionBuilder, ProgramBuilder
+from ..tir.ops import Instr, Write
+from ..tir.program import Program
+from .spec import PlantedRace
+
+__all__ = ["RacePlan", "RacyHelper", "racy_access", "locked_update",
+           "tls_churn", "fan_out", "fan_in"]
+
+
+@dataclass
+class _Site:
+    name: str
+    instrs: List[Instr]
+    expect_rare: bool
+    self_pairs: bool = True
+
+
+class RacePlan:
+    """Collects planted race sites while a workload is being built."""
+
+    def __init__(self):
+        self._sites: List[_Site] = []
+
+    def site(self, name: str, instrs: Sequence[Instr],
+             expect_rare: bool, self_pairs: bool = True) -> None:
+        """Register one racy site (its accesses, all to one shared address).
+
+        ``self_pairs=False`` marks sites whose instructions each execute in
+        exactly one thread (e.g. a write in a background thread racing a
+        write in a worker): an instruction cannot race itself then, so only
+        cross-instruction keys are expected.
+        """
+        self._sites.append(_Site(name, list(instrs), expect_rare, self_pairs))
+
+    @staticmethod
+    def _keys_for(instrs: Sequence[Instr],
+                  self_pairs: bool) -> Tuple[Tuple[int, int], ...]:
+        """Static-race keys a site can produce: every access pair involving
+        a write (two threads executing the same write instruction race that
+        instruction against itself, hence (w, w) self-pairs when the site's
+        code is shared by several threads)."""
+        keys = set()
+        for first in instrs:
+            for second in instrs:
+                if first is second and not self_pairs:
+                    continue
+                if not (isinstance(first, Write) or isinstance(second, Write)):
+                    continue
+                low, high = sorted((first.pc, second.pc))
+                keys.add((low, high))
+        return tuple(sorted(keys))
+
+    def attach(self, program: Program) -> Program:
+        """Resolve sites to PC pairs and attach ground truth to ``program``."""
+        planted = tuple(
+            PlantedRace(
+                name=site.name,
+                keys=self._keys_for(site.instrs, site.self_pairs),
+                expect_rare=site.expect_rare,
+            )
+            for site in self._sites
+        )
+        program.planted_races = planted
+        return program
+
+
+class RacyHelper:
+    """A helper function with an unprotected access pattern on its pointer
+    parameter — the vehicle for the paper's race populations.
+
+    The helper reads/writes ``Param(0)`` without synchronization; whether
+    that *races* depends entirely on who calls it with what:
+
+    * ``call_private`` / ``call_tls`` — single-owner data; never races.
+      Used to make the helper *hot* (warmed by the main thread during
+      setup, or called per-item from worker fast paths), which drives the
+      per-function sampling rate down.
+    * ``call_shared`` — the racy call: two or more threads passing the same
+      shared address produce a real race at the helper's PCs.
+
+    Archetypes built from these calls:
+
+    ========================  =================================================
+    cold-cold                 only a few ``call_shared`` per run, helper
+                              otherwise unused → every sampler that samples
+                              first executions finds it
+    warmed cold (TL-only)     main warms the helper during setup, then late
+                              threads ``call_shared`` once each → global
+                              samplers have already backed off; thread-local
+                              samplers still see each thread's first call
+    hot-cold                  a thread with a hot (floor-rate) helper makes
+                              the shared call → even TL-Ad usually misses
+                              one side; sets the detection ceiling
+    hot-frequent              all workers ``call_shared`` per item → caught
+                              by volume
+    late-frequent             private calls early, shared calls only in the
+                              run's second half → thread-local samplers have
+                              backed off; UCP/random/global-periodic catch it
+    ========================  =================================================
+    """
+
+    def __init__(self, b: ProgramBuilder, plan: RacePlan, name: str, *,
+                 read: bool = True, write: bool = True, payload_reads: int = 0,
+                 compute: int = 1, expect_rare: bool = True,
+                 registered: bool = True):
+        from ..tir.addr import Param
+
+        self.b = b
+        self.name = name
+        with b.function(name, params=1) as f:
+            for index in range(payload_reads):
+                f.read(Param(0, 8 + 8 * index))
+            if compute:
+                f.compute(compute)
+            instrs = racy_access(f, Param(0), read=read, write=write)
+        if registered:
+            # ``registered=False`` builds the helper without declaring a
+            # race site — used when a workload variant never exercises the
+            # helper on shared state (the function still exists, as dead
+            # code does in a real binary).
+            plan.site(name, instrs, expect_rare=expect_rare)
+        self.shared = b.global_addr(f"{name}__shared")
+
+    def call_shared(self, f: FunctionBuilder) -> None:
+        """The racy call: pass the shared address."""
+        f.call(self.name, self.shared)
+
+    def call_private(self, f: FunctionBuilder, tag) -> None:
+        """A non-racing call on data owned by whoever uses ``tag``."""
+        f.call(self.name, self.b.global_addr(f"{self.name}__priv_{tag}"))
+
+    def call_with(self, f: FunctionBuilder, operand) -> None:
+        """Call with an arbitrary operand (e.g. a parameter of the caller).
+
+        Whether this races depends on what address the operand resolves to
+        at run time; workloads use it to select racing pairs via fork args.
+        """
+        f.call(self.name, operand)
+
+    def private_addr(self, tag) -> int:
+        """A non-shared target address for ``tag`` (for fork arguments)."""
+        return self.b.global_addr(f"{self.name}__priv_{tag}")
+
+    def call_tls(self, f: FunctionBuilder, offset: int) -> None:
+        """A non-racing call on the calling thread's private region."""
+        from ..tir.addr import Tls
+
+        f.call(self.name, Tls(offset))
+
+
+def racy_access(f: FunctionBuilder, addr, read: bool = True,
+                write: bool = True) -> List[Instr]:
+    """Emit an unprotected access pattern on ``addr``; return the instrs.
+
+    ``read and write`` yields a read-modify-write (2 static races when two
+    threads execute it); ``write`` alone yields a blind write (1 static
+    race); ``read`` alone is only racy against a write elsewhere.
+    """
+    instrs: List[Instr] = []
+    if read:
+        instrs.append(f.read(addr))
+    if write:
+        instrs.append(f.write(addr))
+    if not instrs:
+        raise ValueError("racy_access needs read and/or write")
+    return instrs
+
+
+def locked_update(f: FunctionBuilder, lock, addrs: Sequence,
+                  compute: int = 2) -> None:
+    """A properly synchronized read-modify-write of ``addrs`` under ``lock``."""
+    with f.critical(lock):
+        for addr in addrs:
+            f.read(addr)
+        f.compute(compute)
+        for addr in addrs:
+            f.write(addr)
+
+
+def tls_churn(f: FunctionBuilder, slots: int = 4, repeat: int = 1) -> None:
+    """Thread-private traffic (the workload's stack-like accesses)."""
+    from ..tir.addr import Tls
+
+    for _ in range(repeat):
+        for slot in range(slots):
+            f.read(Tls(slot * 8))
+            f.write(Tls(slot * 8))
+
+
+def fan_out(f: FunctionBuilder, func: str, args_per_worker: Sequence[Tuple],
+            first_slot: int = 0) -> List[int]:
+    """Fork one thread per args tuple; return the tid slots used."""
+    slots = []
+    for index, args in enumerate(args_per_worker):
+        slot = first_slot + index
+        f.fork(func, *args, tid_slot=slot)
+        slots.append(slot)
+    return slots
+
+
+def fan_in(f: FunctionBuilder, slots: Sequence[int]) -> None:
+    """Join the threads whose tids are stored in ``slots``."""
+    for slot in slots:
+        f.join(slot)

@@ -1,0 +1,121 @@
+"""Workload registry: the benchmark-input pairs of the evaluation (§5.1).
+
+Each workload is a TIR program modelling one of the paper's benchmark-input
+pairs.  A :class:`WorkloadSpec` carries the builder plus which evaluations
+the pair participates in (Table 4's race study covers six pairs; Table 5's
+overhead study adds ConcRT and the two microbenchmarks) and the paper's
+reported race counts for side-by-side comparison.
+
+Built programs carry ground truth: ``program.planted_races`` lists the
+deliberately planted race sites with their PCs, which tests use to validate
+the detector independently of the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..tir.program import Program
+
+__all__ = [
+    "PlantedRace",
+    "PaperRaceCounts",
+    "WorkloadSpec",
+    "register",
+    "get",
+    "build",
+    "names",
+    "race_eval_names",
+    "overhead_eval_names",
+]
+
+
+@dataclass(frozen=True)
+class PlantedRace:
+    """Ground truth for one deliberately planted racy site."""
+
+    name: str
+    #: Static-race keys (sorted PC pairs) this site can produce.
+    keys: Tuple[Tuple[int, int], ...]
+    #: Whether the site is designed to manifest rarely (cold path).
+    expect_rare: bool
+
+
+@dataclass(frozen=True)
+class PaperRaceCounts:
+    """Table 4's reported counts for a benchmark-input pair."""
+
+    total: int
+    rare: int
+    frequent: int
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark-input pair."""
+
+    name: str
+    title: str
+    description: str
+    builder: Callable[[int, float], Program]
+    in_race_eval: bool
+    in_overhead_eval: bool
+    paper_races: Optional[PaperRaceCounts] = None
+    #: Paper's Table 5 numbers for reference (LiteRace, full-logging slowdown).
+    paper_literace_slowdown: Optional[float] = None
+    paper_full_slowdown: Optional[float] = None
+
+    def build(self, seed: int = 0, scale: float = 1.0) -> Program:
+        """Construct the program for one run (seed varies data placement)."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return self.builder(seed, scale)
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"workload {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> WorkloadSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def build(name: str, seed: int = 0, scale: float = 1.0) -> Program:
+    """Build the named workload (convenience wrapper over the registry)."""
+    return get(name).build(seed=seed, scale=scale)
+
+
+def names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def race_eval_names() -> List[str]:
+    """The six pairs of Table 4 / Figures 4-5, in the paper's order."""
+    ordered = [
+        "dryad-stdlib", "dryad", "apache-1", "apache-2",
+        "firefox-start", "firefox-render",
+    ]
+    return [n for n in ordered if n in _REGISTRY and _REGISTRY[n].in_race_eval]
+
+
+def overhead_eval_names() -> List[str]:
+    """The ten pairs of Table 5 / Figure 6, in the paper's order."""
+    ordered = [
+        "lkrhash", "lflist", "dryad-stdlib", "dryad",
+        "concrt-messaging", "concrt-scheduling",
+        "apache-1", "apache-2", "firefox-start", "firefox-render",
+    ]
+    return [n for n in ordered
+            if n in _REGISTRY and _REGISTRY[n].in_overhead_eval]

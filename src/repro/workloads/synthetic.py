@@ -1,0 +1,198 @@
+"""Randomized synthetic programs for tests and property-based invariants.
+
+These generators produce small, *valid-by-construction* TIR programs with a
+controllable amount of sharing, locking and racing.  They are not paper
+benchmarks; they exist so that the test suite can exercise the whole
+pipeline (executor → log → merge → detector) across thousands of random
+program shapes, checking invariants like:
+
+* a sampled log never yields a race the full log's oracle disagrees with
+  (no false positives, §3.2);
+* the same seed always reproduces the same execution and report;
+* the timestamp merge reconstructs a happens-before-equivalent order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..tir.addr import HeapSlot, Indexed, Param, Tls
+from ..tir.builder import ProgramBuilder
+from ..tir.program import Program
+from .patterns import RacePlan
+from .spec import WorkloadSpec, register
+
+__all__ = ["random_program", "two_thread_racer", "cas_lock_program",
+           "heap_churn_program", "build_synthetic_small"]
+
+
+def random_program(seed: int = 0, *, threads: int = 3, helpers: int = 4,
+                   calls_per_thread: int = 30, shared_vars: int = 4,
+                   locks: int = 2, lock_prob: float = 0.5,
+                   alloc_prob: float = 0.2) -> Program:
+    """A random but well-formed multithreaded program.
+
+    Each helper function performs a few accesses to a randomly chosen
+    shared variable, protected by a randomly chosen lock with probability
+    ``lock_prob`` (unprotected accesses may genuinely race — that is the
+    point).  Worker threads call a random sequence of helpers; the main
+    thread forks and joins all workers.
+    """
+    rng = random.Random(seed)
+    b = ProgramBuilder(f"synthetic-{seed}")
+    shared = [b.global_addr(f"var{v}") for v in range(shared_vars)]
+    lock_addrs = [b.global_addr(f"lock{l}") for l in range(locks)]
+
+    for h in range(helpers):
+        var = rng.choice(shared)
+        lock: Optional[int] = (rng.choice(lock_addrs)
+                               if rng.random() < lock_prob else None)
+        with b.function(f"helper{h}", slots=1) as f:
+            if lock is not None:
+                f.lock(lock)
+            f.read(var)
+            if rng.random() < 0.8:
+                f.write(var)
+            f.compute(rng.randrange(1, 4))
+            if lock is not None:
+                f.unlock(lock)
+            if rng.random() < alloc_prob:
+                f.alloc(rng.choice((16, 64, 256)), 0)
+                f.write(Tls(8))
+                f.free(0)
+            f.read(Tls(0))
+
+    # Callees cannot vary per iteration, so each worker gets an unrolled
+    # random call sequence.
+    for t in range(threads):
+        with b.function(f"worker{t}") as f:
+            for _ in range(calls_per_thread):
+                f.call(f"helper{rng.randrange(helpers)}")
+                if rng.random() < 0.1:
+                    f.compute(rng.randrange(1, 5))
+
+    with b.function("main", slots=threads) as f:
+        for t in range(threads):
+            f.fork(f"worker{t}", tid_slot=t)
+        for t in range(threads):
+            f.join(t)
+
+    return b.build(entry="main")
+
+
+def two_thread_racer(seed: int = 0, *, synchronized: bool = False) -> Program:
+    """The minimal two-thread program: one shared variable, one lock.
+
+    With ``synchronized=True`` the accesses are lock-protected (no race);
+    otherwise the two writes race — the exact pair of examples in the
+    paper's Figure 1.
+    """
+    b = ProgramBuilder("figure1" + ("-left" if synchronized else "-right"))
+    plan = RacePlan()
+    x = b.global_addr("X")
+    lock = b.global_addr("L")
+
+    with b.function("writer") as f:
+        if synchronized:
+            f.lock(lock)
+        instr = f.write(x)
+        if synchronized:
+            f.unlock(lock)
+    if not synchronized:
+        plan.site("figure1_race", [instr], expect_rare=True)
+
+    with b.function("main", slots=2) as f:
+        f.fork("writer", tid_slot=0)
+        f.fork("writer", tid_slot=1)
+        f.join(0)
+        f.join(1)
+
+    return plan.attach(b.build(entry="main"))
+
+
+def cas_lock_program(seed: int = 0, *, threads: int = 4,
+                     iterations: int = 200) -> Program:
+    """Threads protecting a shared counter with a *user-level CAS lock*.
+
+    The program is correctly synchronized (the runtime honours the mutual
+    exclusion), but the profiler only sees raw atomic operations — §4.2's
+    hard case.  With atomic timestamping the offline analysis reports zero
+    races; with torn (non-atomic) timestamps the reconstructed order breaks
+    and false races appear.  Used by the atomic-timestamps ablation and the
+    no-false-positives tests.
+    """
+    b = ProgramBuilder("cas-lock")
+    counter = b.global_addr("counter")
+    cas_lock = b.global_addr("user_lock")
+
+    with b.function("bump", params=1) as f:
+        f.lock(cas_lock, via_cas=True)
+        f.read(counter)
+        f.compute(2)
+        f.write(counter)
+        f.unlock(cas_lock, via_cas=True)
+        f.read(Tls(0))
+
+    with b.function("worker", params=1) as f:
+        with f.loop(Param(0)):
+            f.call("bump", 0)
+
+    with b.function("main", slots=threads) as f:
+        f.write(counter)
+        for t in range(threads):
+            f.fork("worker", iterations, tid_slot=t)
+        for t in range(threads):
+            f.join(t)
+
+    return b.build(entry="main")
+
+
+def heap_churn_program(seed: int = 0, *, threads: int = 4,
+                       iterations: int = 120,
+                       block_size: int = 64) -> Program:
+    """Threads repeatedly allocating, writing, and freeing heap blocks.
+
+    The allocator recycles freed blocks LIFO, so a block written by one
+    thread is frequently handed to another; only the §4.3 rule (allocation
+    routines act as synchronization on the containing page) orders the two
+    incarnations.  Used by the alloc-as-sync ablation: with the rule on,
+    zero races; with it off, a storm of false races on recycled addresses.
+    """
+    b = ProgramBuilder("heap-churn")
+
+    with b.function("churn_once", slots=1) as f:
+        f.alloc(block_size, 0)
+        with f.loop(4):
+            f.write(Indexed(HeapSlot(0), 8, 0))
+        f.compute(2)
+        with f.loop(4):
+            f.read(Indexed(HeapSlot(0), 8, 0))
+        f.free(0)
+
+    with b.function("churner", params=1) as f:
+        with f.loop(Param(0)):
+            f.call("churn_once")
+
+    with b.function("main", slots=threads) as f:
+        for t in range(threads):
+            f.fork("churner", iterations, tid_slot=t)
+        for t in range(threads):
+            f.join(t)
+
+    return b.build(entry="main")
+
+
+def build_synthetic_small(seed: int = 0, scale: float = 1.0) -> Program:
+    """Registry entry point: a modest random program for quick demos."""
+    return random_program(seed, calls_per_thread=max(5, int(30 * scale)))
+
+
+register(WorkloadSpec(
+    name="synthetic",
+    title="Synthetic",
+    description="Randomized small multithreaded program (testing/demo)",
+    builder=build_synthetic_small,
+    in_race_eval=False,
+    in_overhead_eval=False,
+))

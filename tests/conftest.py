@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.literace import LiteRace, run_baseline
+from repro.runtime.scheduler import RandomInterleaver
+from repro.tir.builder import ProgramBuilder
+from repro.workloads.synthetic import two_thread_racer
+
+
+@pytest.fixture
+def racer_program():
+    """Figure 1 right-hand side: two threads, one unsynchronized write."""
+    return two_thread_racer(synchronized=False)
+
+
+@pytest.fixture
+def locked_program():
+    """Figure 1 left-hand side: the same writes, properly locked."""
+    return two_thread_racer(synchronized=True)
+
+
+def run_full(program, seed=1, **kwargs):
+    """Full-logging run + offline analysis (shared helper)."""
+    return LiteRace(sampler="Full", seed=seed, **kwargs).run(program)
+
+
+def simple_two_thread(body_builder, threads=2, name="test-prog"):
+    """Build a program whose worker body is emitted by ``body_builder(f)``."""
+    b = ProgramBuilder(name)
+    with b.function("worker") as f:
+        body_builder(f, b)
+    with b.function("main", slots=threads) as f:
+        for t in range(threads):
+            f.fork("worker", tid_slot=t)
+        for t in range(threads):
+            f.join(t)
+    return b.build(entry="main")

@@ -1,0 +1,117 @@
+"""Tests for the analysis layer (detection study, overhead study, tables)."""
+
+import math
+
+import pytest
+
+from repro.analysis.detection import run_detection_study
+from repro.analysis.overhead import run_overhead_study
+from repro.analysis.tables import (
+    bar_chart,
+    format_percent,
+    format_slowdown,
+    format_table,
+)
+
+
+class TestDetectionStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_detection_study(
+            benchmarks=["dryad"], samplers=("TL-Ad", "Rnd10", "Full"),
+            seeds=(1, 2), scale=0.05,
+        )
+
+    def test_runs_per_seed(self, study):
+        assert len(study.runs_for("dryad")) == 2
+
+    def test_full_sampler_detects_everything(self, study):
+        assert study.detection_rate("dryad", "Full") == 1.0
+
+    def test_rates_bounded(self, study):
+        for sampler in ("TL-Ad", "Rnd10"):
+            rate = study.detection_rate("dryad", sampler)
+            assert 0.0 <= rate <= 1.0
+
+    def test_esr_ordering(self, study):
+        assert study.esr("dryad", "TL-Ad") < study.esr("dryad", "Full")
+
+    def test_weighted_esr_of_full_is_one(self, study):
+        assert study.weighted_esr("Full") == pytest.approx(1.0)
+
+    def test_race_counts_median(self, study):
+        total, rare, freq = study.race_counts("dryad")
+        assert total == rare + freq
+        assert total >= 1
+
+    def test_average_rates(self, study):
+        avg = study.average_detection_rate("TL-Ad")
+        assert 0.0 <= avg <= 1.0
+
+    def test_unknown_race_class_rejected(self, study):
+        with pytest.raises(ValueError):
+            study.runs[0].reference("bogus")
+
+
+class TestOverheadStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_overhead_study(benchmarks=["lkrhash", "apache-1"],
+                                  seeds=(1,), scale=0.05)
+
+    def test_row_per_benchmark(self, rows):
+        assert [r.benchmark for r in rows] == ["lkrhash", "apache-1"]
+
+    def test_slowdowns_ordered(self, rows):
+        for row in rows:
+            assert 1.0 <= row.dispatch_only_slowdown
+            assert row.dispatch_only_slowdown <= row.sync_logging_slowdown
+            assert row.sync_logging_slowdown <= row.literace_slowdown + 1e-9
+            assert row.literace_slowdown < row.full_logging_slowdown
+
+    def test_sync_heavy_benchmark_pays_more(self, rows):
+        lkrhash, apache = rows
+        assert lkrhash.literace_slowdown > apache.literace_slowdown
+
+    def test_decomposition_positive(self, rows):
+        for row in rows:
+            assert row.frac_dispatch > 0
+            assert row.frac_sync_log > 0
+            assert row.frac_memory_log >= 0
+
+    def test_log_rates_positive(self, rows):
+        for row in rows:
+            assert row.literace_mb_per_s > 0
+            assert row.full_mb_per_s > 0
+
+
+class TestTables:
+    def test_format_percent(self):
+        assert format_percent(0.715) == "71.5%"
+        assert format_percent(float("nan")) == "-"
+
+    def test_format_slowdown(self):
+        assert format_slowdown(2.5) == "2.50x"
+        assert format_slowdown(float("nan")) == "-"
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [["x", "y"], ["long", "z"]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len({len(l) for l in lines[3:4]}) == 1
+
+    def test_bar_chart_scales_to_peak(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        a_line, b_line = chart.splitlines()
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_bar_chart_validates_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_bar_chart_handles_nan(self):
+        chart = bar_chart(["a"], [float("nan")])
+        assert "-" in chart

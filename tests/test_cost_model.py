@@ -1,0 +1,47 @@
+"""Tests for the cost model."""
+
+import pytest
+
+from repro.runtime.cost import DEFAULT_COST_MODEL, CostModel
+
+
+class TestContention:
+    def test_single_thread_free(self):
+        assert DEFAULT_COST_MODEL.contention_cost(1, 1) == 0
+
+    def test_scales_with_threads(self):
+        model = DEFAULT_COST_MODEL
+        assert model.contention_cost(8, 1) > model.contention_cost(2, 1)
+
+    def test_counters_divide_contention(self):
+        model = DEFAULT_COST_MODEL
+        assert model.contention_cost(8, 128) < model.contention_cost(8, 1)
+
+    def test_invalid_counters(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.contention_cost(4, 0)
+
+
+class TestOverrides:
+    def test_with_overrides_replaces(self):
+        model = DEFAULT_COST_MODEL.with_overrides(log_memory=1)
+        assert model.log_memory == 1
+        assert model.log_sync == DEFAULT_COST_MODEL.log_sync
+
+    def test_original_untouched(self):
+        DEFAULT_COST_MODEL.with_overrides(dispatch_check=99)
+        assert DEFAULT_COST_MODEL.dispatch_check == 8
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.dispatch_check = 1
+
+
+class TestPaperConstants:
+    def test_dispatch_check_is_eight_instructions(self):
+        """§4.1: 'our dispatch check involves 8 instructions'."""
+        assert DEFAULT_COST_MODEL.dispatch_check == 8
+
+    def test_memory_logging_dominates_sync_logging(self):
+        """Full logging's cost driver is the memory-op volume."""
+        assert DEFAULT_COST_MODEL.log_memory > DEFAULT_COST_MODEL.log_sync

@@ -1,0 +1,155 @@
+"""Tests for the in-memory event log and its wire encoding."""
+
+import pytest
+
+from repro.eventlog.encode import (
+    MEMORY_EVENT_BYTES,
+    SYNC_EVENT_BYTES,
+    decode_log,
+    encode_log,
+    encoded_size,
+)
+from repro.eventlog.events import MemoryEvent, SyncEvent, SyncKind
+from repro.eventlog.log import EventLog
+
+
+def sample_log():
+    log = EventLog()
+    log.append_sync(0, SyncKind.THREAD_START, ("thread", 0), 1, -1)
+    log.append_memory(0, 0x1000, 5, True, mask=0b101)
+    log.append_memory(1, 0x2000, 6, False, mask=0b010)
+    log.append_sync(1, SyncKind.LOCK, ("mutex", 0x3000), 2, 7)
+    log.append_sync(1, SyncKind.ALLOC_PAGE, ("page", 42), 3, 8)
+    return log
+
+
+class TestEventLog:
+    def test_counts(self):
+        log = sample_log()
+        assert log.memory_count == 2
+        assert log.sync_count == 3
+        assert len(log) == 5
+
+    def test_per_thread_preserves_order(self):
+        streams = sample_log().per_thread()
+        assert [type(e).__name__ for e in streams[1]] == [
+            "MemoryEvent", "SyncEvent", "SyncEvent"]
+
+    def test_mask_counts(self):
+        log = sample_log()
+        assert log.memory_logged_by(0) == 1
+        assert log.memory_logged_by(1) == 1
+        assert log.memory_logged_by(2) == 1
+        assert log.memory_logged_by(3) == 0
+
+    def test_filtered_keeps_all_sync(self):
+        sub = sample_log().filtered(0)
+        assert sub.sync_count == 3
+        assert sub.memory_count == 1
+
+    def test_filtered_memory_selection(self):
+        sub = sample_log().filtered(1)
+        addrs = [e.addr for e in sub.events if isinstance(e, MemoryEvent)]
+        assert addrs == [0x2000]
+
+    def test_sync_vars_in_first_seen_order(self):
+        vars_seen = sample_log().sync_vars()
+        assert vars_seen[0] == ("thread", 0)
+        assert ("page", 42) in vars_seen
+
+    def test_event_properties(self):
+        acquire = SyncEvent(0, SyncKind.LOCK, ("mutex", 1), 1, 0)
+        release = SyncEvent(0, SyncKind.UNLOCK, ("mutex", 1), 2, 0)
+        both = SyncEvent(0, SyncKind.ATOMIC, ("atomic", 1), 3, 0)
+        assert acquire.is_acquire and not acquire.is_release
+        assert release.is_release and not release.is_acquire
+        assert both.is_acquire and both.is_release
+
+
+class TestEncoding:
+    def test_round_trip_per_thread_streams(self):
+        log = sample_log()
+        decoded = decode_log(encode_log(log))
+        original = log.per_thread()
+        restored = decoded.per_thread()
+        assert set(original) == set(restored)
+        for tid in original:
+            for a, b in zip(original[tid], restored[tid]):
+                if isinstance(a, MemoryEvent):
+                    assert (a.tid, a.addr, a.pc, a.is_write) == \
+                        (b.tid, b.addr, b.pc, b.is_write)
+                else:
+                    assert a == b
+
+    def test_encoded_size_matches_actual_bytes(self):
+        log = sample_log()
+        assert encoded_size(log) == len(encode_log(log))
+
+    def test_event_sizes_documented(self):
+        log = EventLog()
+        base = encoded_size(log)
+        log.append_memory(0, 1, 2, True)
+        with_mem = encoded_size(log)
+        log.append_sync(0, SyncKind.LOCK, ("mutex", 1), 1, 2)
+        with_sync = encoded_size(log)
+        # First event also pays the thread-section header.
+        assert with_sync - with_mem == SYNC_EVENT_BYTES
+        assert with_mem - base > MEMORY_EVENT_BYTES
+
+    def test_negative_pc_round_trips(self):
+        log = EventLog()
+        log.append_sync(0, SyncKind.THREAD_EXIT, ("thread", 0), 9, -1)
+        decoded = decode_log(encode_log(log))
+        assert decoded.events[0].pc == -1
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            decode_log(b"XXXX" + b"\x00" * 10)
+
+    def test_trailing_garbage_rejected(self):
+        data = encode_log(sample_log()) + b"\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            decode_log(data)
+
+    def test_masks_are_not_on_the_wire(self):
+        # Masks are an in-memory experiment artifact; decoding yields the
+        # default mask.
+        log = EventLog()
+        log.append_memory(0, 1, 2, True, mask=0b1010)
+        decoded = decode_log(encode_log(log))
+        assert decoded.events[0].mask == 1
+
+    def test_all_sync_kinds_encode(self):
+        log = EventLog()
+        domains = {
+            SyncKind.LOCK: "mutex", SyncKind.UNLOCK: "mutex",
+            SyncKind.WAIT: "event", SyncKind.NOTIFY: "event",
+            SyncKind.FORK: "thread", SyncKind.JOIN: "thread",
+            SyncKind.THREAD_START: "thread", SyncKind.THREAD_EXIT: "thread",
+            SyncKind.ATOMIC: "atomic",
+            SyncKind.ALLOC_PAGE: "page", SyncKind.FREE_PAGE: "page",
+        }
+        for index, (kind, domain) in enumerate(domains.items()):
+            log.append_sync(0, kind, (domain, index), index, index)
+        decoded = decode_log(encode_log(log))
+        assert [e.kind for e in decoded.events] == list(domains)
+
+
+class TestStore:
+    def test_save_and_load(self, tmp_path):
+        from repro.eventlog.store import load_log, save_log
+
+        log = sample_log()
+        path = tmp_path / "log.ltrc"
+        written = save_log(log, path)
+        assert written == path.stat().st_size
+        loaded = load_log(path)
+        assert loaded.sync_count == log.sync_count
+        assert loaded.memory_count == log.memory_count
+
+    def test_save_is_atomic(self, tmp_path):
+        from repro.eventlog.store import save_log
+
+        path = tmp_path / "log.ltrc"
+        save_log(sample_log(), path)
+        assert not (tmp_path / "log.ltrc.tmp").exists()

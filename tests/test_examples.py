@@ -1,0 +1,55 @@
+"""The example scripts must run end to end (at tiny scale)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv)
+    try:
+        runpy.run_path(f"{EXAMPLES}/{name}", run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "RACE at pcs" in out
+    assert "races             : none" in out
+
+
+def test_detector_comparison(capsys):
+    run_example("detector_comparison.py")
+    out = capsys.readouterr().out
+    assert "false" in out
+
+
+def test_sampling_knob(capsys):
+    run_example("sampling_knob.py", ["0.05"])
+    out = capsys.readouterr().out
+    assert "Full logging" in out
+
+
+def test_cold_region_hypothesis(capsys):
+    run_example("cold_region_hypothesis.py", ["0.05"])
+    out = capsys.readouterr().out
+    assert "effective sampling rates" in out
+
+
+def test_online_detector(capsys):
+    run_example("online_detector.py", ["0.05"])
+    out = capsys.readouterr().out
+    assert "agree on racy addresses: True" in out
+
+
+def test_deployment_coverage(capsys):
+    run_example("deployment_coverage.py", ["0.05", "3"])
+    out = capsys.readouterr().out
+    assert "cumulative races" in out
+    assert "deployments" in out

@@ -1,0 +1,100 @@
+"""Smoke tests: every experiment regenerates its artifact at tiny scale."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    table1,
+    figure4,
+    figure5,
+    figure6,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+SCALE = 0.05
+SEEDS = (1,)
+
+
+@pytest.fixture(scope="module")
+def detection_artifacts():
+    """table3/table4/figure4/figure5 share one memoized study."""
+    return {
+        "table3": table3.run(scale=SCALE, seeds=SEEDS),
+        "table4": table4.run(scale=SCALE, seeds=SEEDS),
+        "figure4": figure4.run(scale=SCALE, seeds=SEEDS),
+        "figure5": figure5.run(scale=SCALE, seeds=SEEDS),
+    }
+
+
+class TestDetectionArtifacts:
+    def test_table3_lists_all_samplers(self, detection_artifacts):
+        out = detection_artifacts["table3"]
+        for name in ("TL-Ad", "TL-Fx", "G-Ad", "G-Fx", "Rnd10", "Rnd25",
+                     "UCP"):
+            assert name in out
+        assert "Weighted ESR" in out
+
+    def test_table4_lists_all_benchmarks(self, detection_artifacts):
+        out = detection_artifacts["table4"]
+        for title in ("Dryad Channel", "Apache-1", "Firefox Render"):
+            assert title in out
+        assert "#Rare" in out
+
+    def test_figure4_has_average_row(self, detection_artifacts):
+        assert "Average" in detection_artifacts["figure4"]
+        assert "Weighted Avg ESR" in detection_artifacts["figure4"]
+
+    def test_figure5_has_both_panels(self, detection_artifacts):
+        out = detection_artifacts["figure5"]
+        assert "rare data-race detection" in out
+        assert "frequent data-race detection" in out
+
+
+class TestOverheadArtifacts:
+    def test_table1(self):
+        out = table1.run()
+        assert "SyncVar" in out
+        assert "NO" not in out  # every row verified against the runtime
+
+    def test_table2(self):
+        out = table2.run(scale=SCALE, seeds=SEEDS)
+        assert "Table 2" in out and "LKRHash" in out
+
+    def test_table5(self):
+        out = table5.run(scale=SCALE, seeds=SEEDS)
+        assert "Average (w/o microbench)" in out
+        assert "LiteRace" in out
+
+    def test_figure6(self):
+        out = figure6.run(scale=SCALE, seeds=SEEDS)
+        assert "dispatch" in out
+        assert "legend" in out
+
+
+class TestAblations:
+    def test_atomic_timestamps(self):
+        out = ablations.atomic_timestamps(scale=0.2, seeds=(1,))
+        assert "torn" in out and "atomic" in out
+
+    def test_alloc_as_sync(self):
+        out = ablations.alloc_as_sync(scale=0.2, seeds=(1,))
+        assert "alloc" in out
+
+    def test_counter_contention(self):
+        out = ablations.counter_contention(scale=0.05)
+        assert "128" in out
+
+    def test_sampler_sweep(self):
+        out = ablations.sampler_sweep(scale=0.05)
+        assert "burst" in out
+
+    def test_loop_granularity(self):
+        out = ablations.loop_granularity(scale=0.05)
+        assert "split_loops" in out
+
+    def test_lockset_consumer(self):
+        out = ablations.lockset_consumer(scale=0.05)
+        assert "lockset" in out and "HB races" in out

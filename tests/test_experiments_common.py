@@ -1,0 +1,32 @@
+"""Tests for the experiment-infrastructure helpers."""
+
+from repro.experiments import EXPERIMENT_NAMES
+from repro.experiments.common import detection_study, paper_note
+
+
+class TestStudyCache:
+    def test_same_parameters_return_cached_object(self):
+        a = detection_study(scale=0.05, seeds=(1,), benchmarks=("dryad",),
+                            samplers=("TL-Ad", "Full"))
+        b = detection_study(scale=0.05, seeds=(1,), benchmarks=("dryad",),
+                            samplers=("TL-Ad", "Full"))
+        assert a is b
+
+    def test_different_parameters_rerun(self):
+        a = detection_study(scale=0.05, seeds=(1,), benchmarks=("dryad",),
+                            samplers=("TL-Ad", "Full"))
+        b = detection_study(scale=0.05, seeds=(2,), benchmarks=("dryad",),
+                            samplers=("TL-Ad", "Full"))
+        assert a is not b
+
+
+class TestRegistry:
+    def test_every_experiment_importable_with_run(self):
+        import importlib
+
+        for name in EXPERIMENT_NAMES:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert callable(module.run)
+
+    def test_paper_note_format(self):
+        assert paper_note("x").startswith("\n[paper] ")

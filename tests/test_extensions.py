@@ -1,0 +1,176 @@
+"""Tests for the tool extensions: suppressions, streaming writer, chaos."""
+
+import pytest
+
+from repro.core.literace import LiteRace
+from repro.core.suppressions import Suppression, SuppressionList
+from repro.eventlog.store import load_log
+from repro.eventlog.writer import StreamingLogWriter
+from repro.runtime.chaos import ChaosScheduler
+from repro.runtime.executor import Executor
+from repro.workloads.synthetic import random_program, two_thread_racer
+from repro import workloads
+
+
+class TestSuppressions:
+    def analyzed(self):
+        program = two_thread_racer()
+        result = LiteRace(sampler="Full", seed=1).run(program)
+        return program, result.report
+
+    def test_exact_rule_suppresses(self):
+        program, report = self.analyzed()
+        rules = SuppressionList([Suppression("writer", "writer")])
+        kept, suppressed = rules.split(report, program)
+        assert kept.num_static == 0
+        assert suppressed.num_static == 1
+
+    def test_wildcard_rule(self):
+        program, report = self.analyzed()
+        rules = SuppressionList([Suppression("writer", "*")])
+        kept, suppressed = rules.split(report, program)
+        assert suppressed.num_static == 1
+
+    def test_non_matching_rule_keeps(self):
+        program, report = self.analyzed()
+        rules = SuppressionList([Suppression("other", "other")])
+        kept, suppressed = rules.split(report, program)
+        assert kept.num_static == 1
+        assert suppressed.num_static == 0
+
+    def test_order_insensitive_matching(self):
+        rule = Suppression("a", "b")
+        assert rule.matches("a", "b")
+        assert rule.matches("b", "a")
+        assert not rule.matches("a", "a")
+
+    def test_parse_round_trip(self):
+        text = (
+            "# comment line\n"
+            "\n"
+            "bump_stats <-> bump_stats  # intentional counter\n"
+            "logger <-> *\n"
+        )
+        rules = SuppressionList.parse(text)
+        assert len(rules) == 2
+        assert rules.rules[0].reason == "intentional counter"
+        reparsed = SuppressionList.parse(rules.to_text())
+        assert reparsed.rules == rules.rules
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="expected"):
+            SuppressionList.parse("just a name\n")
+        with pytest.raises(ValueError, match="empty side"):
+            SuppressionList.parse(" <-> x\n")
+
+    def test_realistic_benign_filtering(self):
+        """Suppress the intentional stats counters of the dryad model."""
+        program = workloads.build("dryad", seed=1, scale=0.05)
+        report = LiteRace(sampler="Full", seed=1).run(program).report
+        rules = SuppressionList.parse(
+            "bump_channel_stats <-> bump_channel_stats\n"
+            "consumer_lag_flush <-> consumer_lag_flush\n"
+        )
+        kept, suppressed = rules.split(report, program)
+        assert suppressed.num_static == 5  # the frequent stats counters
+        assert kept.num_static == report.num_static - 5
+
+
+class TestStreamingWriter:
+    def test_writes_equivalent_log(self, tmp_path):
+        program = two_thread_racer()
+        path = tmp_path / "stream.ltrc"
+        writer = StreamingLogWriter(path, buffer_events=4)
+        tool = LiteRace(sampler="Full", seed=2)
+        _, in_memory = tool.profile(program, sink=writer)
+        writer.close()
+        on_disk = load_log(path)
+        assert on_disk.sync_count == in_memory.sync_count
+        assert on_disk.memory_count == in_memory.memory_count
+        assert writer.events_written == len(in_memory)
+
+    def test_buffers_bound_memory(self, tmp_path):
+        program = random_program(1, calls_per_thread=50)
+        writer = StreamingLogWriter(tmp_path / "x.ltrc", buffer_events=8)
+        LiteRace(sampler="Full", seed=1).profile(program, sink=writer)
+        writer.close()
+        assert writer.flushes > 2
+        # never more than one unfilled buffer per thread outstanding
+        assert writer.peak_buffered_events <= 8 * 8
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "cm.ltrc"
+        with StreamingLogWriter(path) as writer:
+            LiteRace(sampler="Full", seed=1).profile(two_thread_racer(),
+                                                     sink=writer)
+        assert path.exists()
+
+    def test_double_close_rejected(self, tmp_path):
+        writer = StreamingLogWriter(tmp_path / "y.ltrc")
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.close()
+
+    def test_feed_after_close_rejected(self, tmp_path):
+        writer = StreamingLogWriter(tmp_path / "z.ltrc")
+        writer.close()
+        from repro.eventlog.events import MemoryEvent
+
+        with pytest.raises(ValueError):
+            writer.feed(MemoryEvent(0, 1, 2, True))
+
+    def test_invalid_buffer_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            StreamingLogWriter(tmp_path / "w.ltrc", buffer_events=0)
+
+
+class TestChaosScheduler:
+    def test_deterministic_per_seed(self):
+        def run_once(seed):
+            scheduler = ChaosScheduler(seed=seed, change_points=3)
+            result = Executor(two_thread_racer(),
+                              scheduler=scheduler).run()
+            return result.steps
+
+        assert run_once(5) == run_once(5)
+
+    def test_runs_workloads_to_completion(self):
+        program = workloads.build("dryad", seed=1, scale=0.05)
+        result = Executor(program, scheduler=ChaosScheduler(seed=2)).run()
+        assert result.threads_created == 10
+
+    def test_race_free_program_stays_clean_under_chaos(self):
+        from repro.workloads.synthetic import cas_lock_program
+
+        program = cas_lock_program(1, threads=4, iterations=50)
+        for seed in range(5):
+            tool = LiteRace(sampler="Full", seed=seed)
+            result = tool.run(program)  # default scheduler
+            chaos_run, log = tool.profile(
+                program, scheduler=ChaosScheduler(seed=seed))
+            report, _ = tool.analyze_log(log)
+            assert result.report.num_static == 0
+            assert report.num_static == 0
+
+    def test_planted_race_manifests_under_chaos(self):
+        program = two_thread_racer()
+        found = 0
+        for seed in range(6):
+            tool = LiteRace(sampler="Full", seed=seed)
+            _, log = tool.profile(program,
+                                  scheduler=ChaosScheduler(seed=seed))
+            report, _ = tool.analyze_log(log)
+            found += bool(report.num_static)
+        assert found >= 4  # the unsynchronized write-write pair is robust
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ChaosScheduler(change_points=-1)
+        with pytest.raises(ValueError):
+            ChaosScheduler(expected_steps=0)
+
+    def test_fork_seed(self):
+        parent = ChaosScheduler(seed=1, change_points=4)
+        child = parent.fork_seed(2)
+        assert child.change_points == 4
+        assert child.seed != parent.seed

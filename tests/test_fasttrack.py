@@ -1,0 +1,129 @@
+"""Tests for the FastTrack epoch-optimized detector."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.literace import LiteRace
+from repro.detector.fasttrack import FastTrackDetector, fasttrack_races
+from repro.detector.hb import detect_races
+from repro.detector.oracle import oracle_races
+from repro.eventlog.events import MemoryEvent, SyncEvent, SyncKind
+from repro.workloads.synthetic import random_program
+
+
+X = 0x1000
+LOCK = ("mutex", 0x2000)
+
+
+def mem(tid, pc, write, addr=X):
+    return MemoryEvent(tid, addr, pc, write)
+
+
+def sync(tid, kind, var, ts=0):
+    return SyncEvent(tid, kind, var, ts, -1)
+
+
+class TestBasics:
+    def test_write_write_race(self):
+        report = fasttrack_races([mem(1, 1, True), mem(2, 2, True)])
+        assert report.static_races == {(1, 2)}
+
+    def test_read_write_race(self):
+        report = fasttrack_races([mem(1, 1, False), mem(2, 2, True)])
+        assert report.static_races == {(1, 2)}
+
+    def test_write_read_race(self):
+        report = fasttrack_races([mem(1, 1, True), mem(2, 2, False)])
+        assert report.static_races == {(1, 2)}
+
+    def test_lock_ordering_respected(self):
+        report = fasttrack_races([
+            sync(1, SyncKind.LOCK, LOCK, 1),
+            mem(1, 1, True),
+            sync(1, SyncKind.UNLOCK, LOCK, 2),
+            sync(2, SyncKind.LOCK, LOCK, 3),
+            mem(2, 2, True),
+        ])
+        assert report.num_static == 0
+
+    def test_shared_read_then_racing_write(self):
+        # two ordered-with-each-other? no: concurrent readers, then a
+        # writer concurrent with both -> both read-write races surface
+        events = [
+            mem(1, 1, False),
+            mem(2, 2, False),
+            mem(3, 3, True),
+        ]
+        report = fasttrack_races(events)
+        assert report.static_races == {(1, 3), (2, 3)}
+
+
+class TestEpochMachinery:
+    def test_same_epoch_reads_take_fast_path(self):
+        detector = FastTrackDetector()
+        for _ in range(100):
+            detector.feed(mem(1, 1, False))
+        assert detector.fast_path_hits >= 99
+        assert detector.escalations == 0
+
+    def test_concurrent_reads_escalate(self):
+        detector = FastTrackDetector()
+        detector.feed(mem(1, 1, False))
+        detector.feed(mem(2, 2, False))
+        assert detector.escalations == 1
+        assert detector.shared_addresses == 1
+
+    def test_write_collapses_shared_state(self):
+        detector = FastTrackDetector()
+        detector.feed(mem(1, 1, False))
+        detector.feed(mem(2, 2, False))
+        detector.feed(mem(1, 3, True))
+        assert detector.shared_addresses == 0
+
+    def test_ordered_reads_stay_in_epoch_mode(self):
+        detector = FastTrackDetector()
+        detector.feed_all([
+            mem(1, 1, False),
+            sync(1, SyncKind.UNLOCK, LOCK, 1),
+            sync(2, SyncKind.LOCK, LOCK, 2),
+            mem(2, 2, False),
+        ])
+        assert detector.escalations == 0
+
+
+class TestEquivalence:
+    params = st.fixed_dictionaries({
+        "seed": st.integers(0, 5000),
+        "threads": st.integers(2, 4),
+        "helpers": st.integers(2, 5),
+        "calls_per_thread": st.integers(5, 30),
+        "lock_prob": st.floats(0.0, 1.0),
+    })
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=params, sched_seed=st.integers(0, 500))
+    def test_same_racy_addresses_as_reference(self, params, sched_seed):
+        program = random_program(**params)
+        _, log = LiteRace(sampler="Full", seed=sched_seed).profile(program)
+        assert fasttrack_races(log.events).addresses == \
+            detect_races(log.events).addresses
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=params, sched_seed=st.integers(0, 500))
+    def test_subset_of_oracle(self, params, sched_seed):
+        program = random_program(**params)
+        _, log = LiteRace(sampler="Full", seed=sched_seed).profile(program)
+        assert fasttrack_races(log.events).static_races <= \
+            oracle_races(log.events).static_races
+
+    def test_fast_path_dominates_on_real_workload(self):
+        from repro import workloads
+
+        program = workloads.build("dryad", seed=1, scale=0.05)
+        _, log = LiteRace(sampler="Full", seed=1).profile(program)
+        detector = FastTrackDetector()
+        detector.feed_all(log.events)
+        memory_events = sum(1 for e in log.events
+                            if isinstance(e, MemoryEvent))
+        assert detector.fast_path_hits > 0.8 * memory_events

@@ -1,0 +1,164 @@
+"""Tests for the profiling harnesses (single-sampler and §5.3 marked)."""
+
+from repro.core.harness import MarkedHarness, ProfilingHarness
+from repro.core.samplers import make_sampler
+from repro.core.tracker import TimestampTracker
+from repro.eventlog.events import MemoryEvent, SyncEvent, SyncKind
+from repro.runtime.cost import DEFAULT_COST_MODEL
+from repro.runtime.executor import Executor
+from repro.runtime.scheduler import RoundRobinScheduler
+from repro.tir.addr import Param
+from repro.tir.builder import ProgramBuilder
+
+import pytest
+
+
+class TestProfilingHarness:
+    def test_full_sampler_logs_everything(self, racer_program):
+        harness = ProfilingHarness(make_sampler("Full"))
+        result = Executor(racer_program, harness=harness,
+                          scheduler=RoundRobinScheduler(5)).run()
+        assert harness.log.memory_count == result.memory_ops
+
+    def test_never_sampler_logs_no_memory(self, racer_program):
+        harness = ProfilingHarness(make_sampler("Never"))
+        result = Executor(racer_program, harness=harness,
+                          scheduler=RoundRobinScheduler(5)).run()
+        assert harness.log.memory_count == 0
+        assert harness.log.sync_count == result.sync_ops
+
+    def test_sync_always_logged_even_when_unsampled(self, racer_program):
+        harness = ProfilingHarness(make_sampler("Never"))
+        Executor(racer_program, harness=harness,
+                 scheduler=RoundRobinScheduler(5)).run()
+        kinds = {e.kind for e in harness.log.events
+                 if isinstance(e, SyncEvent)}
+        assert SyncKind.FORK in kinds and SyncKind.JOIN in kinds
+
+    def test_log_sync_false_suppresses_logging_and_cost(self, racer_program):
+        harness = ProfilingHarness(make_sampler("Never"), log_sync=False)
+        result = Executor(racer_program, harness=harness,
+                          scheduler=RoundRobinScheduler(5)).run()
+        assert harness.log.sync_count == 0
+        assert result.sync_log_cycles == 0
+        assert result.dispatch_cycles > 0
+
+    def test_timestamps_monotone_per_var(self, racer_program):
+        harness = ProfilingHarness(make_sampler("Full"))
+        Executor(racer_program, harness=harness,
+                 scheduler=RoundRobinScheduler(5)).run()
+        per_var = {}
+        for event in harness.log.events:
+            if isinstance(event, SyncEvent):
+                per_var.setdefault(event.var, []).append(event.timestamp)
+        for stamps in per_var.values():
+            assert stamps == sorted(stamps)
+
+    def test_atomic_ops_pay_extra_cost(self):
+        b = ProgramBuilder("atomics")
+        with b.function("main") as f:
+            f.atomic_rmw(b.global_addr("a"))
+        program = b.build(entry="main")
+        harness = ProfilingHarness(make_sampler("Full"))
+        result = Executor(program, harness=harness).run()
+        cost = DEFAULT_COST_MODEL
+        assert result.sync_log_cycles >= cost.log_sync + cost.log_atomic_extra
+
+    def test_sink_receives_events_in_order(self, racer_program):
+        received = []
+
+        class Sink:
+            def feed(self, event):
+                received.append(event)
+
+        harness = ProfilingHarness(make_sampler("Full"), sink=Sink())
+        Executor(racer_program, harness=harness,
+                 scheduler=RoundRobinScheduler(5)).run()
+        assert received == harness.log.events
+
+
+class TestMarkedHarness:
+    def build_nested(self):
+        """cold() calls hot() so per-activation masks must nest."""
+        b = ProgramBuilder("nested")
+        x = b.global_addr("x")
+        with b.function("hot") as f:
+            f.read(x)
+        with b.function("cold") as f:
+            f.write(x)
+            f.call("hot")
+            f.write(x)
+        with b.function("main") as f:
+            with f.loop(50):
+                f.call("cold")
+        return b.build(entry="main")
+
+    def test_requires_a_sampler(self):
+        with pytest.raises(ValueError):
+            MarkedHarness([])
+
+    def test_everything_logged_with_masks(self, racer_program):
+        harness = MarkedHarness([make_sampler("TL-Ad"),
+                                 make_sampler("Rnd10")])
+        result = Executor(racer_program, harness=harness,
+                          scheduler=RoundRobinScheduler(5)).run()
+        assert harness.log.memory_count == result.memory_ops
+
+    def test_sampler_bit_lookup(self):
+        harness = MarkedHarness([make_sampler("TL-Ad"),
+                                 make_sampler("UCP")])
+        assert harness.sampler_bit("TL-Ad") == 0
+        assert harness.sampler_bit("UCP") == 1
+        with pytest.raises(KeyError):
+            harness.sampler_bit("nope")
+
+    def test_full_marker_marks_everything(self, racer_program):
+        harness = MarkedHarness([make_sampler("Full")])
+        Executor(racer_program, harness=harness,
+                 scheduler=RoundRobinScheduler(5)).run()
+        assert harness.log.memory_logged_by(0) == harness.log.memory_count
+
+    def test_never_marker_marks_nothing(self, racer_program):
+        harness = MarkedHarness([make_sampler("Never")])
+        Executor(racer_program, harness=harness,
+                 scheduler=RoundRobinScheduler(5)).run()
+        assert harness.log.memory_logged_by(0) == 0
+
+    def test_nested_activations_use_own_decisions(self):
+        """After a callee returns, the caller's mask applies again."""
+        program = self.build_nested()
+        harness = MarkedHarness([make_sampler("UCP")])  # skip first 10/fn
+        Executor(program, harness=harness,
+                 scheduler=RoundRobinScheduler(5)).run()
+        # cold's writes (pc of first/last write) and hot's read alternate;
+        # UCP decisions for 'cold' and 'hot' are independent, and the two
+        # writes of one 'cold' activation must carry the same mask.
+        events = [e for e in harness.log.events
+                  if isinstance(e, MemoryEvent)]
+        writes = [e for e in events if e.is_write]
+        for first, second in zip(writes[0::2], writes[1::2]):
+            assert first.mask == second.mask
+
+    def test_marked_filtered_log_matches_single_sampler_run(self):
+        """A sampler's marked sub-log equals what a solo run logs."""
+        program = self.build_nested()
+        marked = MarkedHarness([make_sampler("UCP")],
+                               tracker=TimestampTracker(seed=0))
+        Executor(program, harness=marked,
+                 scheduler=RoundRobinScheduler(5)).run()
+
+        solo = ProfilingHarness(make_sampler("UCP"),
+                                tracker=TimestampTracker(seed=0))
+        Executor(program, harness=solo,
+                 scheduler=RoundRobinScheduler(5)).run()
+
+        marked_mem = [
+            (e.tid, e.addr, e.pc, e.is_write)
+            for e in marked.log.filtered(0).events
+            if isinstance(e, MemoryEvent)
+        ]
+        solo_mem = [
+            (e.tid, e.addr, e.pc, e.is_write)
+            for e in solo.log.events if isinstance(e, MemoryEvent)
+        ]
+        assert marked_mem == solo_mem

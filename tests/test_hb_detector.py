@@ -1,0 +1,217 @@
+"""Tests for the happens-before detector on hand-built event sequences."""
+
+from repro.detector.hb import HappensBeforeDetector, detect_races
+from repro.eventlog.events import MemoryEvent, SyncEvent, SyncKind
+
+
+def mem(tid, addr, pc, write):
+    return MemoryEvent(tid, addr, pc, write)
+
+
+def sync(tid, kind, var, ts=0, pc=-1):
+    return SyncEvent(tid, kind, var, ts, pc)
+
+
+X = 0x1000
+LOCK = ("mutex", 0x2000)
+EV = ("event", 0x3000)
+
+
+class TestBasicRaces:
+    def test_write_write_race(self):
+        report = detect_races([
+            mem(1, X, 10, True),
+            mem(2, X, 20, True),
+        ])
+        assert report.static_races == {(10, 20)}
+
+    def test_write_read_race(self):
+        report = detect_races([
+            mem(1, X, 10, True),
+            mem(2, X, 20, False),
+        ])
+        assert report.static_races == {(10, 20)}
+
+    def test_read_write_race(self):
+        report = detect_races([
+            mem(1, X, 10, False),
+            mem(2, X, 20, True),
+        ])
+        assert report.static_races == {(10, 20)}
+
+    def test_read_read_never_races(self):
+        report = detect_races([
+            mem(1, X, 10, False),
+            mem(2, X, 20, False),
+        ])
+        assert report.num_static == 0
+
+    def test_same_thread_never_races(self):
+        report = detect_races([
+            mem(1, X, 10, True),
+            mem(1, X, 20, True),
+        ])
+        assert report.num_static == 0
+
+    def test_different_addresses_never_race(self):
+        report = detect_races([
+            mem(1, X, 10, True),
+            mem(2, X + 8, 20, True),
+        ])
+        assert report.num_static == 0
+
+    def test_occurrences_counted(self):
+        events = []
+        for i in range(5):
+            events.append(mem(1, X, 10, True))
+            events.append(mem(2, X, 20, True))
+        report = detect_races(events)
+        assert report.occurrences[(10, 20)] >= 5
+
+
+class TestLockOrdering:
+    def test_figure1_left_no_race(self):
+        # t1: lock, write, unlock; t2: lock, write, unlock (after t1)
+        report = detect_races([
+            sync(1, SyncKind.LOCK, LOCK, 1),
+            mem(1, X, 10, True),
+            sync(1, SyncKind.UNLOCK, LOCK, 2),
+            sync(2, SyncKind.LOCK, LOCK, 3),
+            mem(2, X, 20, True),
+            sync(2, SyncKind.UNLOCK, LOCK, 4),
+        ])
+        assert report.num_static == 0
+
+    def test_figure1_right_race(self):
+        # t2 writes without taking the lock
+        report = detect_races([
+            sync(1, SyncKind.LOCK, LOCK, 1),
+            mem(1, X, 10, True),
+            sync(1, SyncKind.UNLOCK, LOCK, 2),
+            mem(2, X, 20, True),
+        ])
+        assert report.static_races == {(10, 20)}
+
+    def test_different_locks_do_not_order(self):
+        other = ("mutex", 0x2100)
+        report = detect_races([
+            sync(1, SyncKind.LOCK, LOCK, 1),
+            mem(1, X, 10, True),
+            sync(1, SyncKind.UNLOCK, LOCK, 2),
+            sync(2, SyncKind.LOCK, other, 1),
+            mem(2, X, 20, True),
+            sync(2, SyncKind.UNLOCK, other, 2),
+        ])
+        assert report.static_races == {(10, 20)}
+
+    def test_transitive_ordering_through_third_thread(self):
+        # t1 -> t2 via LOCK, t2 -> t3 via EV; so t1's write HB t3's write.
+        report = detect_races([
+            mem(1, X, 10, True),
+            sync(1, SyncKind.UNLOCK, LOCK, 1),
+            sync(2, SyncKind.LOCK, LOCK, 2),
+            sync(2, SyncKind.NOTIFY, EV, 1),
+            sync(3, SyncKind.WAIT, EV, 2),
+            mem(3, X, 30, True),
+        ])
+        assert report.num_static == 0
+
+
+class TestOtherSyncKinds:
+    def test_fork_orders_parent_before_child(self):
+        report = detect_races([
+            mem(0, X, 5, True),
+            sync(0, SyncKind.FORK, ("thread", 1), 1),
+            sync(1, SyncKind.THREAD_START, ("thread", 1), 2),
+            mem(1, X, 15, True),
+        ])
+        assert report.num_static == 0
+
+    def test_join_orders_child_before_parent(self):
+        report = detect_races([
+            sync(1, SyncKind.THREAD_START, ("thread", 1), 1),
+            mem(1, X, 15, True),
+            sync(1, SyncKind.THREAD_EXIT, ("thread", 1), 2),
+            sync(0, SyncKind.JOIN, ("thread", 1), 3),
+            mem(0, X, 5, True),
+        ])
+        assert report.num_static == 0
+
+    def test_unjoined_sibling_races(self):
+        report = detect_races([
+            sync(0, SyncKind.FORK, ("thread", 1), 1),
+            sync(0, SyncKind.FORK, ("thread", 2), 2),
+            sync(1, SyncKind.THREAD_START, ("thread", 1), 3),
+            sync(2, SyncKind.THREAD_START, ("thread", 2), 4),
+            mem(1, X, 15, True),
+            mem(2, X, 25, True),
+        ])
+        assert report.static_races == {(15, 25)}
+
+    def test_atomic_orders_both_directions(self):
+        var = ("atomic", 0x5000)
+        report = detect_races([
+            mem(1, X, 10, True),
+            sync(1, SyncKind.ATOMIC, var, 1),
+            sync(2, SyncKind.ATOMIC, var, 2),
+            mem(2, X, 20, True),
+        ])
+        assert report.num_static == 0
+
+    def test_notify_before_wait_orders(self):
+        report = detect_races([
+            mem(1, X, 10, True),
+            sync(1, SyncKind.NOTIFY, EV, 1),
+            sync(2, SyncKind.WAIT, EV, 2),
+            mem(2, X, 20, False),
+        ])
+        assert report.num_static == 0
+
+
+class TestAllocSync:
+    PAGE = ("page", 77)
+
+    def events(self):
+        # t1 writes then frees; t2 reallocates the page and writes.
+        return [
+            sync(1, SyncKind.ALLOC_PAGE, self.PAGE, 1),
+            mem(1, X, 10, True),
+            sync(1, SyncKind.FREE_PAGE, self.PAGE, 2),
+            sync(2, SyncKind.ALLOC_PAGE, self.PAGE, 3),
+            mem(2, X, 20, True),
+        ]
+
+    def test_alloc_as_sync_suppresses_false_race(self):
+        report = detect_races(self.events(), alloc_as_sync=True)
+        assert report.num_static == 0
+
+    def test_disabled_rule_reports_false_race(self):
+        report = detect_races(self.events(), alloc_as_sync=False)
+        assert report.static_races == {(10, 20)}
+
+
+class TestDetectorState:
+    def test_addresses_tracked(self):
+        detector = HappensBeforeDetector()
+        detector.feed(mem(1, X, 1, True))
+        detector.feed(mem(1, X + 8, 2, True))
+        assert detector.addresses_tracked == 2
+
+    def test_write_clears_read_map(self):
+        # r1, r2, then ordered writes: second write should not re-race reads
+        # that the first write already subsumed.
+        detector = HappensBeforeDetector()
+        detector.feed(mem(1, X, 1, False))
+        detector.feed(mem(1, X, 2, True))
+        detector.feed(mem(1, X, 3, True))
+        assert detector.report.num_static == 0
+
+    def test_example_instance_recorded(self):
+        report = detect_races([
+            mem(1, X, 10, True),
+            mem(2, X, 20, False),
+        ])
+        example = report.examples[(10, 20)]
+        assert example.addr == X
+        assert {example.first_tid, example.second_tid} == {1, 2}
+        assert example.first_is_write or example.second_is_write

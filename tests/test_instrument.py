@@ -1,0 +1,205 @@
+"""Tests for the instrumentation pass (Figure 3) and loop splitting (§7)."""
+
+import pytest
+
+from repro.core.instrument import clone_function, instrument, split_loops
+from repro.core.literace import LiteRace, run_baseline
+from repro.tir import ops
+from repro.tir.addr import Indexed, Param
+from repro.tir.builder import ProgramBuilder
+from repro.workloads.parsec_like import build_parsec_like
+
+
+def sample_program():
+    b = ProgramBuilder("sample")
+    x = b.global_addr("x")
+    with b.function("leaf", params=1) as f:
+        f.read(Param(0))
+        with f.loop(3):
+            f.write(Indexed(x, 8, 0))
+    with b.function("main", slots=1) as f:
+        f.alloc(64, 0)
+        f.call("leaf", x)
+        f.free(0)
+    return b.build(entry="main")
+
+
+class TestClone:
+    def test_clone_preserves_structure_and_pcs(self):
+        program = sample_program()
+        original = program.function("leaf")
+        copy = clone_function(original, "$instr")
+        assert copy.name == "leaf$instr"
+        orig_instrs = list(original.instructions())
+        copy_instrs = list(copy.instructions())
+        assert len(orig_instrs) == len(copy_instrs)
+        for a, b in zip(orig_instrs, copy_instrs):
+            assert type(a) is type(b)
+            assert a.pc == b.pc
+            assert a is not b
+
+    def test_clone_is_deep(self):
+        program = sample_program()
+        original = program.function("leaf")
+        copy = clone_function(original, "$x")
+        loop_orig = original.body[1]
+        loop_copy = copy.body[1]
+        assert loop_copy is not loop_orig
+        assert loop_copy.body[0] is not loop_orig.body[0]
+
+
+class TestInstrumentPass:
+    def test_every_function_gets_two_versions(self):
+        program = sample_program()
+        rewritten = instrument(program)
+        assert set(rewritten.versions) == {"leaf", "main"}
+        for versions in rewritten.versions.values():
+            assert versions.instrumented.name.endswith("$instr")
+            assert versions.uninstrumented.name.endswith("$uninstr")
+
+    def test_dispatch_sites_one_per_function(self):
+        rewritten = instrument(sample_program())
+        assert rewritten.num_dispatch_sites == 2
+
+    def test_rewritten_size_grows(self):
+        program = sample_program()
+        rewritten = instrument(program)
+        assert rewritten.original_static_size == program.static_size
+        assert rewritten.rewritten_static_size > 2 * program.static_size
+
+
+class TestSplitLoops:
+    def make_loopy(self, count=2000, use_param_count=False):
+        b = ProgramBuilder("loopy")
+        arr = b.global_array("arr", count, 8)
+        out = b.global_array("out", count, 8)
+        with b.function("kernel", params=1) as f:
+            with f.loop(Param(0) if use_param_count else count):
+                f.read(Indexed(arr, 8, 0))
+                f.compute(2)
+                f.write(Indexed(out, 8, 0))
+        with b.function("main") as f:
+            f.call("kernel", count)
+        return b.build(entry="main")
+
+    def test_split_creates_helper(self):
+        program = self.make_loopy()
+        split = split_loops(program, min_trip_count=1000, chunk=100)
+        assert split.num_functions == program.num_functions + 1
+        assert any("$loop" in name for name in split.functions)
+
+    def test_split_preserves_execution_semantics(self):
+        program = self.make_loopy()
+        split = split_loops(program, min_trip_count=1000, chunk=100)
+        base = run_baseline(program, seed=1)
+        split_base = run_baseline(split, seed=1)
+        assert split_base.memory_ops == base.memory_ops
+        # more calls, same memory traffic
+        assert split_base.function_calls > base.function_calls
+
+    def test_split_preserves_addresses(self):
+        from repro.core.harness import ProfilingHarness
+        from repro.core.samplers import make_sampler
+        from repro.runtime.executor import Executor
+        from repro.runtime.scheduler import RoundRobinScheduler
+
+        def addresses(prog):
+            harness = ProfilingHarness(make_sampler("Full"))
+            Executor(prog, scheduler=RoundRobinScheduler(10),
+                     harness=harness).run()
+            return sorted(
+                e.addr for e in harness.log.events
+                if hasattr(e, "addr") and hasattr(e, "is_write")
+            )
+
+        program = self.make_loopy(count=500)
+        split = split_loops(program, min_trip_count=100, chunk=50)
+        assert addresses(split) == addresses(program)
+
+    def test_dynamic_trip_count_not_split(self):
+        program = self.make_loopy(use_param_count=True)
+        split = split_loops(program, min_trip_count=100, chunk=50)
+        assert split.num_functions == program.num_functions
+
+    def test_indivisible_trip_count_not_split(self):
+        program = self.make_loopy(count=2001)
+        split = split_loops(program, min_trip_count=1000, chunk=100)
+        assert split.num_functions == program.num_functions
+
+    def test_small_loops_left_alone(self):
+        program = self.make_loopy(count=200)
+        split = split_loops(program, min_trip_count=1000, chunk=100)
+        assert split.num_functions == program.num_functions
+
+    def test_loops_with_frame_state_not_split(self):
+        b = ProgramBuilder("alloc-loop")
+        with b.function("main", slots=1) as f:
+            with f.loop(2000):
+                f.alloc(16, 0)
+                f.free(0)
+        program = b.build(entry="main")
+        split = split_loops(program, min_trip_count=100, chunk=100)
+        assert split.num_functions == program.num_functions
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            split_loops(sample_program(), min_trip_count=0)
+
+    def test_parsec_case_study(self):
+        program = build_parsec_like(seed=1, scale=0.1)
+        split = split_loops(program, min_trip_count=1000, chunk=100)
+        planted_orig = {k for p in program.planted_races for k in p.keys}
+        planted_split = {k for p in split.planted_races for k in p.keys}
+        assert len(planted_split) == len(planted_orig)
+
+        esr_orig = LiteRace(sampler="TL-Ad", seed=1).run(program)
+        esr_split = LiteRace(sampler="TL-Ad", seed=1).run(split)
+        assert esr_orig.effective_sampling_rate > 0.9  # the §7 pathology
+        assert esr_split.effective_sampling_rate < 0.5
+        assert planted_split <= esr_split.report.static_races
+
+
+class TestProfileGuidedSplitting:
+    def test_profile_counts_loop_iterations(self):
+        program = build_parsec_like(seed=1, scale=0.05)
+        from repro.core.instrument import profile_loops
+
+        profile = profile_loops(program, seed=1)
+        assert max(profile.values()) >= 2000  # the worker sweep dominates
+
+    def test_hot_loops_split_cold_left_alone(self):
+        from repro.core.instrument import profile_loops, split_hot_loops
+
+        program = build_parsec_like(seed=1, scale=0.05)
+        profile = profile_loops(program, seed=1)
+        split = split_hot_loops(program, profile, hot_iterations=5000,
+                                chunk=100)
+        # exactly one synthetic helper: the price_worker sweep; main's
+        # 128-iteration init loop stays put
+        assert split.num_functions == program.num_functions + 1
+
+    def test_no_hot_loops_returns_same_program(self):
+        from repro.core.instrument import split_hot_loops
+
+        program = build_parsec_like(seed=1, scale=0.05)
+        assert split_hot_loops(program, {}, hot_iterations=10) is program
+
+    def test_threshold_validated(self):
+        from repro.core.instrument import split_hot_loops
+
+        with pytest.raises(ValueError):
+            split_hot_loops(build_parsec_like(scale=0.05), {1: 10},
+                            hot_iterations=0)
+
+    def test_profile_guided_lowers_esr_and_keeps_race(self):
+        from repro.core.instrument import profile_loops, split_hot_loops
+        from repro.core.literace import LiteRace
+
+        program = build_parsec_like(seed=1, scale=0.1)
+        profile = profile_loops(program, seed=1)
+        split = split_hot_loops(program, profile, hot_iterations=5000)
+        before = LiteRace(sampler="TL-Ad", seed=1).run(program)
+        after = LiteRace(sampler="TL-Ad", seed=1).run(split)
+        assert after.effective_sampling_rate < before.effective_sampling_rate
+        planted = {k for p in split.planted_races for k in p.keys}
+        assert planted <= after.report.static_races

@@ -1,0 +1,151 @@
+"""Cross-module integration tests: whole-pipeline behaviours."""
+
+import pytest
+
+from repro.core.literace import LiteRace, run_baseline, run_marked
+from repro.core.samplers import make_sampler
+from repro.detector.hb import detect_races
+from repro.eventlog.events import MemoryEvent, SyncEvent
+from repro.runtime.scheduler import RandomInterleaver, RoundRobinScheduler
+from repro.tir.addr import HeapSlot, Indexed, Param, Tls
+from repro.tir.builder import ProgramBuilder
+from repro.workloads.synthetic import heap_churn_program, random_program
+
+
+class TestHeapRecyclingAcrossThreads:
+    def test_cross_thread_reuse_is_ordered_by_page_sync(self):
+        """The full §4.3 path through the real executor and heap."""
+        program = heap_churn_program(0, threads=4, iterations=60)
+        result = LiteRace(sampler="Full", seed=4).run(program)
+        assert result.report.num_static == 0
+        # reuse actually happened (else the test proves nothing)
+        # — rerun baseline to inspect the heap
+        from repro.runtime.executor import Executor
+
+        executor = Executor(program, scheduler=RandomInterleaver(4))
+        executor.run()
+        assert executor.heap.reuses > 0
+
+
+class TestSamplingMonotonicity:
+    def test_higher_rate_thread_local_never_detects_fewer_addresses(self):
+        """On one marked run, a sampler whose logged set is a superset
+        detects at least the same racy addresses."""
+        from repro.core.samplers import thread_local_fixed
+
+        low = thread_local_fixed(rate=0.02)
+        low.short_name = "LOW"
+        program = random_program(7, threads=4, lock_prob=0.3,
+                                 calls_per_thread=60)
+        marked = run_marked(program, [low, "Full"], seed=7)
+        low_events = [
+            e for e in marked.log.events
+            if isinstance(e, SyncEvent) or (e.mask & 1)
+        ]
+        full_report = detect_races(marked.log.events)
+        low_report = detect_races(low_events)
+        assert low_report.addresses <= full_report.addresses
+
+
+class TestSchedulerSensitivity:
+    def test_detected_races_are_execution_dependent_but_sound(self):
+        """Different interleavings may catch different races; every report
+        stays within the planted ground truth."""
+        from repro.workloads import build
+
+        program = build("dryad", seed=1, scale=0.05)
+        planted = {k for p in program.planted_races for k in p.keys}
+        for seed in (1, 2, 3):
+            result = LiteRace(sampler="Full", seed=seed).run(program)
+            assert result.report.static_races <= planted
+
+
+class TestDispatchEquivalence:
+    """Running the instrumented copy must not change program semantics."""
+
+    def build_program(self):
+        b = ProgramBuilder("semantics")
+        total = b.global_addr("total")
+        lock = b.global_addr("lock")
+        with b.function("bump", slots=1) as f:
+            f.alloc(32, 0)
+            f.write(HeapSlot(0))
+            with f.critical(lock):
+                f.read(total)
+                f.write(total)
+            f.free(0)
+        with b.function("worker") as f:
+            with f.loop(25):
+                f.call("bump")
+        with b.function("main", slots=3) as f:
+            for t in range(3):
+                f.fork("worker", tid_slot=t)
+            for t in range(3):
+                f.join(t)
+        return b.build(entry="main")
+
+    @pytest.mark.parametrize("sampler", ["Never", "TL-Ad", "Full"])
+    def test_same_baseline_behaviour_under_any_sampler(self, sampler):
+        program = self.build_program()
+        reference = run_baseline(program,
+                                 scheduler=RoundRobinScheduler(7))
+        tool = LiteRace(sampler=sampler, seed=1)
+        run, _ = tool.profile(program, scheduler=RoundRobinScheduler(7))
+        # Identical application behaviour: same ops executed, same baseline
+        # cycle count; only instrumentation cycles differ.
+        assert run.memory_ops == reference.memory_ops
+        assert run.sync_ops == reference.sync_ops
+        assert run.baseline_cycles == reference.baseline_cycles
+
+
+class TestStackVsNonStackAccounting:
+    def test_tls_traffic_excluded_from_rare_denominator(self):
+        b = ProgramBuilder("tls-heavy")
+        x = b.global_addr("x")
+        with b.function("main") as f:
+            with f.loop(100):
+                f.read(Tls(0))
+                f.write(Tls(8))
+            f.write(x)
+        program = b.build(entry="main")
+        result = run_baseline(program, seed=1)
+        assert result.memory_ops == 201
+        assert result.nonstack_memory_ops == 1
+
+
+class TestMixedSyncPrimitives:
+    def test_pipeline_with_every_primitive_is_race_free(self):
+        """Locks + events + fork/join + atomics + heap in one program."""
+        b = ProgramBuilder("kitchen-sink")
+        lock = b.global_addr("lock")
+        ev = b.global_addr("ev")
+        shared = b.global_addr("shared")
+        flag = b.global_addr("flag")
+
+        with b.function("stage1") as f:
+            with f.critical(lock):
+                f.write(shared)
+            f.atomic_rmw(flag)
+            f.notify(ev)
+
+        with b.function("stage2", slots=1) as f:
+            f.wait(ev)
+            f.alloc(64, 0)
+            f.write(HeapSlot(0))
+            with f.critical(lock):
+                f.read(shared)
+                f.write(shared)
+            f.atomic_rmw(flag)
+            f.free(0)
+
+        with b.function("main", slots=2) as f:
+            f.fork("stage1", tid_slot=0)
+            f.fork("stage2", tid_slot=1)
+            f.join(0)
+            f.join(1)
+
+        program = b.build(entry="main")
+        for seed in range(5):
+            result = LiteRace(sampler="Full", seed=seed).run(program)
+            assert result.report.num_static == 0
+            assert result.merge_inconsistencies == 0

@@ -1,0 +1,51 @@
+"""Tests for the simulated address-space layout."""
+
+from repro.layout import (
+    GLOBALS_BASE,
+    HEAP_BASE,
+    PAGE_SIZE,
+    TLS_BASE,
+    TLS_SIZE,
+    is_stack_addr,
+    page_of,
+    tls_base_for,
+)
+
+
+class TestRegions:
+    def test_regions_are_ordered_and_disjoint(self):
+        assert 0 < GLOBALS_BASE < HEAP_BASE < TLS_BASE
+
+    def test_globals_not_stack(self):
+        assert not is_stack_addr(GLOBALS_BASE)
+        assert not is_stack_addr(GLOBALS_BASE + 123456)
+
+    def test_heap_not_stack(self):
+        assert not is_stack_addr(HEAP_BASE)
+        assert not is_stack_addr(TLS_BASE - 1)
+
+    def test_tls_is_stack(self):
+        assert is_stack_addr(TLS_BASE)
+        assert is_stack_addr(tls_base_for(7) + 100)
+
+
+class TestTlsBases:
+    def test_distinct_per_thread(self):
+        bases = {tls_base_for(t) for t in range(100)}
+        assert len(bases) == 100
+
+    def test_spacing(self):
+        assert tls_base_for(1) - tls_base_for(0) == TLS_SIZE
+
+    def test_regions_do_not_overlap_for_many_threads(self):
+        assert tls_base_for(0) + TLS_SIZE <= tls_base_for(1)
+
+
+class TestPages:
+    def test_page_of_zero(self):
+        assert page_of(0) == 0
+
+    def test_page_boundaries(self):
+        assert page_of(PAGE_SIZE - 1) == 0
+        assert page_of(PAGE_SIZE) == 1
+        assert page_of(PAGE_SIZE * 10 + 5) == 10

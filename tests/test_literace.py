@@ -1,0 +1,79 @@
+"""End-to-end tests for the LiteRace facade."""
+
+import pytest
+
+from repro.core.literace import LiteRace, run_baseline, run_marked
+from repro.core.samplers import SAMPLER_ORDER, make_sampler
+from repro.workloads.synthetic import random_program, two_thread_racer
+
+
+class TestRun:
+    def test_finds_the_figure1_race(self, racer_program):
+        result = LiteRace(sampler="TL-Ad", seed=1).run(racer_program)
+        planted = {k for p in racer_program.planted_races for k in p.keys}
+        assert result.report.static_races == planted
+
+    def test_no_race_when_locked(self, locked_program):
+        result = LiteRace(sampler="Full", seed=1).run(locked_program)
+        assert result.report.num_static == 0
+
+    def test_result_fields_consistent(self, racer_program):
+        result = LiteRace(sampler="Full", seed=1).run(racer_program)
+        assert result.log_bytes > 0
+        assert result.slowdown >= 1.0
+        assert result.merge_inconsistencies == 0
+        assert 0.0 <= result.effective_sampling_rate <= 1.0
+        assert result.log_mb_per_second >= 0.0
+
+    def test_all_samplers_accepted_by_name(self, racer_program):
+        for name in SAMPLER_ORDER + ("Full", "Never"):
+            result = LiteRace(sampler=name, seed=1).run(racer_program)
+            assert result.run.threads_created == 3
+
+    def test_sampler_object_accepted(self, racer_program):
+        sampler = make_sampler("TL-Ad")
+        result = LiteRace(sampler=sampler, seed=1).run(racer_program)
+        assert result.run.instrumented_calls > 0
+
+    def test_same_seed_reproduces_everything(self):
+        program = random_program(3)
+
+        def once():
+            result = LiteRace(sampler="TL-Ad", seed=9).run(program)
+            return (result.run.clock, len(result.log),
+                    sorted(result.report.occurrences.items()))
+
+        assert once() == once()
+
+    def test_different_seeds_differ(self):
+        program = random_program(3)
+        a = LiteRace(sampler="TL-Ad", seed=1).run(program)
+        b = LiteRace(sampler="TL-Ad", seed=2).run(program)
+        assert a.run.steps != b.run.steps or a.log.events != b.log.events
+
+
+class TestInstrumentFacade:
+    def test_instrument_returns_versions(self, racer_program):
+        rewritten = LiteRace().instrument(racer_program)
+        assert rewritten.num_dispatch_sites == racer_program.num_functions
+
+
+class TestBaselineAndMarked:
+    def test_baseline_has_no_instrumentation(self, racer_program):
+        result = run_baseline(racer_program, seed=1)
+        assert result.instrumentation_cycles == 0
+        assert result.slowdown == 1.0
+
+    def test_marked_run_logs_everything(self, racer_program):
+        marked = run_marked(racer_program, ["TL-Ad", "Rnd10"], seed=1)
+        assert marked.log.memory_count == marked.run.memory_ops
+
+    def test_marked_sampler_log_extraction(self, racer_program):
+        marked = run_marked(racer_program, ["Full"], seed=1)
+        sub = marked.sampler_log("Full")
+        assert sub.memory_count == marked.log.memory_count
+        assert marked.sampler_memory_count("Full") == marked.log.memory_count
+
+    def test_invalid_sampler_name_raises(self, racer_program):
+        with pytest.raises(ValueError):
+            LiteRace(sampler="NoSuch").run(racer_program)

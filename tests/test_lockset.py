@@ -1,0 +1,106 @@
+"""Tests for the Eraser-style lockset comparator."""
+
+from repro.detector.lockset import LocksetDetector
+from repro.eventlog.events import MemoryEvent, SyncEvent, SyncKind
+
+
+X = 0x1000
+L1 = ("mutex", 1)
+L2 = ("mutex", 2)
+
+
+def mem(tid, pc, write, addr=X):
+    return MemoryEvent(tid, addr, pc, write)
+
+
+def lock(tid, var):
+    return SyncEvent(tid, SyncKind.LOCK, var, 0, -1)
+
+
+def unlock(tid, var):
+    return SyncEvent(tid, SyncKind.UNLOCK, var, 0, -1)
+
+
+def run(events):
+    return LocksetDetector().feed_all(events).report
+
+
+class TestStateMachine:
+    def test_single_thread_never_reports(self):
+        report = run([mem(1, 1, True), mem(1, 2, True), mem(1, 3, False)])
+        assert report.num_static == 0
+
+    def test_consistent_lock_discipline_ok(self):
+        report = run([
+            lock(1, L1), mem(1, 1, True), unlock(1, L1),
+            lock(2, L1), mem(2, 2, True), unlock(2, L1),
+        ])
+        assert report.num_static == 0
+
+    def test_unprotected_shared_write_reported(self):
+        report = run([mem(1, 1, True), mem(2, 2, True)])
+        assert report.num_static == 1
+
+    def test_inconsistent_locks_reported(self):
+        # Eraser initializes C(v) at the first sharing access ({L2} here)
+        # and refines on later accesses; the third access empties it.
+        report = run([
+            lock(1, L1), mem(1, 1, True), unlock(1, L1),
+            lock(2, L2), mem(2, 2, True), unlock(2, L2),
+            lock(1, L1), mem(1, 1, True), unlock(1, L1),
+        ])
+        assert report.num_static == 1
+
+    def test_shared_read_only_not_reported(self):
+        report = run([
+            lock(1, L1), mem(1, 1, True), unlock(1, L1),  # init by t1
+            mem(2, 2, False),
+            mem(3, 3, False),
+        ])
+        assert report.num_static == 0
+
+    def test_shared_then_modified_reported(self):
+        report = run([
+            mem(1, 1, True),   # exclusive
+            mem(2, 2, False),  # shared
+            mem(3, 3, True),   # shared-modified, lockset empty
+        ])
+        assert report.num_static == 1
+
+    def test_reported_once_per_address(self):
+        report = run([
+            mem(1, 1, True), mem(2, 2, True),
+            mem(1, 1, True), mem(2, 2, True),
+        ])
+        assert report.num_dynamic == 1
+
+    def test_common_lock_subset_suffices(self):
+        report = run([
+            lock(1, L1), lock(1, L2), mem(1, 1, True),
+            unlock(1, L2), unlock(1, L1),
+            lock(2, L1), mem(2, 2, True), unlock(2, L1),
+        ])
+        assert report.num_static == 0
+
+
+class TestFalsePositives:
+    def test_event_synchronization_invisible_to_lockset(self):
+        """The precision gap that made the paper choose happens-before."""
+        events = [
+            mem(1, 1, True),
+            SyncEvent(1, SyncKind.NOTIFY, ("event", 9), 1, -1),
+            SyncEvent(2, SyncKind.WAIT, ("event", 9), 2, -1),
+            mem(2, 2, True),
+        ]
+        report = run(events)
+        assert report.num_static == 1  # false positive
+
+    def test_fork_join_invisible_to_lockset(self):
+        events = [
+            mem(0, 1, True),
+            SyncEvent(0, SyncKind.FORK, ("thread", 1), 1, -1),
+            SyncEvent(1, SyncKind.THREAD_START, ("thread", 1), 2, -1),
+            mem(1, 2, True),
+        ]
+        report = run(events)
+        assert report.num_static == 1  # false positive

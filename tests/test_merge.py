@@ -1,0 +1,107 @@
+"""Tests for the timestamp-based order reconstruction (§4.2)."""
+
+from repro.core.literace import LiteRace
+from repro.detector.hb import detect_races
+from repro.detector.merge import merge_thread_logs
+from repro.eventlog.events import MemoryEvent, SyncEvent, SyncKind
+from repro.eventlog.log import EventLog
+from repro.workloads.synthetic import cas_lock_program, random_program
+
+
+def make_log(events):
+    log = EventLog()
+    log.events.extend(events)
+    for e in events:
+        if isinstance(e, SyncEvent):
+            log.sync_count += 1
+        else:
+            log.memory_count += 1
+    return log
+
+
+LOCK = ("mutex", 1)
+
+
+class TestReconstruction:
+    def test_single_thread_is_identity(self):
+        events = [
+            SyncEvent(0, SyncKind.LOCK, LOCK, 1, 0),
+            MemoryEvent(0, 100, 1, True),
+            SyncEvent(0, SyncKind.UNLOCK, LOCK, 2, 2),
+        ]
+        result = merge_thread_logs(make_log(events))
+        assert result.events == events
+        assert result.inconsistencies == 0
+
+    def test_sync_order_follows_timestamps(self):
+        # Thread 1's lock has ts 3; thread 0's unlock has ts 2: the merge
+        # must emit t0's events first even if t1's appear first per-thread.
+        events = [
+            SyncEvent(1, SyncKind.LOCK, LOCK, 3, 0),
+            MemoryEvent(1, 100, 9, True),
+            SyncEvent(0, SyncKind.LOCK, LOCK, 1, 0),
+            SyncEvent(0, SyncKind.UNLOCK, LOCK, 2, 1),
+        ]
+        result = merge_thread_logs(make_log(events))
+        order = [(e.tid, getattr(e, "timestamp", None))
+                 for e in result.events if isinstance(e, SyncEvent)]
+        assert order == [(0, 1), (0, 2), (1, 3)]
+        assert result.inconsistencies == 0
+
+    def test_memory_events_stay_in_program_order(self):
+        events = [
+            MemoryEvent(0, 100, 1, True),
+            MemoryEvent(0, 101, 2, False),
+            SyncEvent(0, SyncKind.UNLOCK, LOCK, 1, 3),
+            MemoryEvent(0, 102, 4, True),
+        ]
+        result = merge_thread_logs(make_log(events))
+        pcs = [e.pc for e in result.events if isinstance(e, MemoryEvent)]
+        assert pcs == [1, 2, 4]
+
+    def test_event_count_preserved(self):
+        program = random_program(5)
+        result = LiteRace(sampler="Full", seed=5).profile(program)
+        run, log = result
+        merged = merge_thread_logs(log)
+        assert len(merged.events) == len(log.events)
+
+    def test_inconsistent_timestamps_forced(self):
+        # Two sync events on the same var whose timestamps contradict any
+        # interleaving with a third ordering constraint.
+        events = [
+            SyncEvent(0, SyncKind.LOCK, LOCK, 2, 0),   # t0 first per-thread
+            SyncEvent(0, SyncKind.UNLOCK, ("mutex", 2), 1, 1),
+            SyncEvent(1, SyncKind.LOCK, LOCK, 1, 0),
+            SyncEvent(1, SyncKind.UNLOCK, ("mutex", 2), 2, 1),
+        ]
+        result = merge_thread_logs(make_log(events))
+        assert len(result.events) == 4
+
+
+class TestEquivalenceWithTrueOrder:
+    def test_merge_preserves_race_report(self):
+        """Detecting on merged order == detecting on the true global order
+        whenever timestamps were taken atomically."""
+        for seed in range(6):
+            program = random_program(seed, threads=4, lock_prob=0.5)
+            _, log = LiteRace(sampler="Full", seed=seed).profile(program)
+            true_order = detect_races(log.events)
+            merged = merge_thread_logs(log)
+            assert merged.inconsistencies == 0
+            reconstructed = detect_races(merged.events)
+            assert reconstructed.static_races == true_order.static_races
+
+    def test_cas_lock_program_consistent_when_atomic(self):
+        program = cas_lock_program(1, threads=4, iterations=50)
+        tool = LiteRace(sampler="Full", seed=1, atomic_timestamps=True)
+        result = tool.run(program)
+        assert result.merge_inconsistencies == 0
+        assert result.report.num_static == 0
+
+    def test_cas_lock_program_breaks_when_torn(self):
+        program = cas_lock_program(1, threads=4, iterations=200)
+        tool = LiteRace(sampler="Full", seed=1, atomic_timestamps=False)
+        result = tool.run(program)
+        assert result.merge_inconsistencies > 0
+        assert result.report.num_static > 0  # false races appear

@@ -1,0 +1,89 @@
+"""Tests for the online detector and the exhaustive oracle."""
+
+from repro.core.literace import LiteRace
+from repro.detector.hb import detect_races
+from repro.detector.online import OnlineRaceDetector
+from repro.detector.oracle import oracle_races
+from repro.eventlog.events import MemoryEvent, SyncEvent, SyncKind
+from repro.workloads.synthetic import random_program, two_thread_racer
+
+import pytest
+
+
+class TestOnline:
+    def test_agrees_with_offline_on_racy_addresses(self):
+        """Which PC pair gets reported can differ between processing
+        orders (only the first race per address is guaranteed), but the
+        set of racy *addresses* is order-independent."""
+        for seed in range(6):
+            program = random_program(seed)
+            tool = LiteRace(sampler="TL-Ad", seed=seed)
+            online = OnlineRaceDetector()
+            run, log = tool.profile(program, sink=online)
+            offline, inconsistencies = tool.analyze_log(log)
+            assert inconsistencies == 0
+            assert online.report.addresses == offline.addresses
+
+    def test_reports_are_true_races_in_both_orders(self):
+        for seed in range(4):
+            program = random_program(seed)
+            tool = LiteRace(sampler="TL-Ad", seed=seed)
+            online = OnlineRaceDetector()
+            _, log = tool.profile(program, sink=online)
+            offline, _ = tool.analyze_log(log)
+            oracle = oracle_races(log.events)
+            assert online.report.static_races <= oracle.static_races
+            assert offline.static_races <= oracle.static_races
+
+    def test_consumes_every_event(self):
+        program = two_thread_racer()
+        online = OnlineRaceDetector()
+        _, log = LiteRace(sampler="Full", seed=2).profile(program,
+                                                          sink=online)
+        assert online.events_consumed == len(log.events)
+
+    def test_analysis_budget_tracked(self):
+        program = two_thread_racer()
+        online = OnlineRaceDetector()
+        run, _ = LiteRace(sampler="Full", seed=2).profile(program,
+                                                          sink=online)
+        assert online.analysis_cycles > 0
+        assert isinstance(online.keeps_up_with(run.clock), bool)
+
+    def test_keeps_up_rejects_bad_core_count(self):
+        with pytest.raises(ValueError):
+            OnlineRaceDetector().keeps_up_with(1000, spare_cores=0)
+
+
+class TestOracle:
+    def mem(self, tid, pc, write, addr=0x100):
+        return MemoryEvent(tid, addr, pc, write)
+
+    def test_reports_all_unordered_pairs(self):
+        # Three concurrent writers: the summarizing detector reports the
+        # adjacent pairs; the oracle reports all three pairs.
+        events = [self.mem(1, 1, True), self.mem(2, 2, True),
+                  self.mem(3, 3, True)]
+        summary = detect_races(events)
+        oracle = oracle_races(events)
+        assert oracle.static_races == {(1, 2), (1, 3), (2, 3)}
+        assert summary.static_races <= oracle.static_races
+
+    def test_respects_sync_ordering(self):
+        lock = ("mutex", 7)
+        events = [
+            SyncEvent(1, SyncKind.LOCK, lock, 1, -1),
+            self.mem(1, 1, True),
+            SyncEvent(1, SyncKind.UNLOCK, lock, 2, -1),
+            SyncEvent(2, SyncKind.LOCK, lock, 3, -1),
+            self.mem(2, 2, True),
+        ]
+        assert oracle_races(events).num_static == 0
+
+    def test_hb_report_always_subset_of_oracle(self):
+        for seed in range(8):
+            program = random_program(seed, threads=3, lock_prob=0.4)
+            _, log = LiteRace(sampler="Full", seed=seed).profile(program)
+            summary = detect_races(log.events)
+            oracle = oracle_races(log.events)
+            assert summary.static_races <= oracle.static_races

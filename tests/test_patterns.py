@@ -1,0 +1,90 @@
+"""Tests for the workload race-pattern kit."""
+
+from repro.core.literace import LiteRace
+from repro.tir.builder import ProgramBuilder
+from repro.workloads.patterns import RacePlan, RacyHelper, racy_access
+
+import pytest
+
+
+def build_with_helper(**kwargs):
+    b = ProgramBuilder("kit")
+    plan = RacePlan()
+    helper = RacyHelper(b, plan, "site", **kwargs)
+    return b, plan, helper
+
+
+class TestRacePlanKeys:
+    def test_rw_site_has_two_keys(self):
+        b, plan, _ = build_with_helper()
+        program = plan.attach(b.build(entry="site"))
+        (race,) = program.planted_races
+        assert len(race.keys) == 2  # (r,w) and (w,w)
+
+    def test_write_only_site_has_one_key(self):
+        b, plan, _ = build_with_helper(read=False)
+        program = plan.attach(b.build(entry="site"))
+        (race,) = program.planted_races
+        assert len(race.keys) == 1
+
+    def test_self_pairs_disabled_drops_same_instr_keys(self):
+        b = ProgramBuilder("x")
+        plan = RacePlan()
+        with b.function("f1") as f:
+            w1 = f.write(b.global_addr("shared"))
+        with b.function("f2") as f:
+            w2 = f.write(b.global_addr("shared"))
+        plan.site("cross", [w1, w2], expect_rare=True, self_pairs=False)
+        program = plan.attach(b.build(entry="f1"))
+        (race,) = program.planted_races
+        assert race.keys == ((w1.pc, w2.pc),)
+
+    def test_read_only_site_rejected(self):
+        b = ProgramBuilder("x")
+        with b.function("f") as f:
+            with pytest.raises(ValueError):
+                racy_access(f, 100, read=False, write=False)
+
+
+class TestRacyHelperCalls:
+    def assemble(self, caller_emits):
+        """Two threads run a main that performs ``caller_emits``."""
+        b = ProgramBuilder("kit")
+        plan = RacePlan()
+        helper = RacyHelper(b, plan, "site")
+        with b.function("worker") as f:
+            caller_emits(f, helper)
+        with b.function("main", slots=2) as f:
+            f.fork("worker", tid_slot=0)
+            f.fork("worker", tid_slot=1)
+            f.join(0)
+            f.join(1)
+        return plan.attach(b.build(entry="main"))
+
+    def run_full(self, program):
+        return LiteRace(sampler="Full", seed=3).run(program).report
+
+    def test_shared_calls_race(self):
+        program = self.assemble(lambda f, h: h.call_shared(f))
+        report = self.run_full(program)
+        planted = {k for p in program.planted_races for k in p.keys}
+        assert report.static_races == planted
+
+    def test_private_calls_do_not_race(self):
+        # Both threads use the SAME tag — they share the private address —
+        # so use per-call distinct tags through TLS instead.
+        program = self.assemble(lambda f, h: h.call_tls(f, 64))
+        assert self.run_full(program).num_static == 0
+
+    def test_registered_false_plants_nothing(self):
+        b = ProgramBuilder("kit")
+        plan = RacePlan()
+        RacyHelper(b, plan, "site", registered=False)
+        program = plan.attach(b.build(entry="site"))
+        assert program.planted_races == ()
+
+    def test_private_addr_distinct_from_shared(self):
+        b, _, helper = build_with_helper()
+        assert helper.private_addr("a") != helper.shared
+        assert helper.private_addr("a") != helper.private_addr("b")
+        assert helper.private_addr("a") == helper.private_addr("a")

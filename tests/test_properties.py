@@ -1,0 +1,127 @@
+"""Property-based tests for the pipeline's central invariants (§3.2).
+
+These use hypothesis to sweep random programs, schedules and samplers,
+checking the properties the paper's design rests on:
+
+* **No false positives**: every race reported from any sampled log is a
+  true race of the execution (present in the exhaustive oracle's report of
+  the full log).  Sync events are never sampled away, so the happens-before
+  relation stays exact.
+* **Determinism**: a (program, seed) pair fully determines the execution.
+* **Merge validity**: offline order reconstruction never reports phantom
+  races when timestamps are taken atomically.
+* **Round-trip**: encode/decode preserves per-thread logs.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.literace import LiteRace, run_marked
+from repro.detector.hb import detect_races
+from repro.detector.oracle import oracle_races
+from repro.eventlog.encode import decode_log, encode_log
+from repro.eventlog.events import MemoryEvent, SyncEvent
+from repro.workloads.synthetic import random_program
+
+SAMPLERS = ("TL-Ad", "TL-Fx", "G-Ad", "G-Fx", "Rnd10", "UCP")
+
+slow = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+program_params = st.fixed_dictionaries({
+    "seed": st.integers(0, 10_000),
+    "threads": st.integers(2, 4),
+    "helpers": st.integers(2, 5),
+    "calls_per_thread": st.integers(5, 40),
+    "shared_vars": st.integers(1, 4),
+    "locks": st.integers(1, 3),
+    "lock_prob": st.floats(0.0, 1.0),
+})
+
+
+@slow
+@given(params=program_params, sched_seed=st.integers(0, 1000),
+       sampler=st.sampled_from(SAMPLERS))
+def test_no_false_positives_under_sampling(params, sched_seed, sampler):
+    """The paper's core guarantee: sampling never invents a race."""
+    program = random_program(**params)
+    marked = run_marked(program, [sampler, "Full"], seed=sched_seed)
+    truth = oracle_races(marked.log.events).static_races
+    bit = marked.harness.sampler_bit(sampler)
+    sampled = detect_races(
+        e for e in marked.log.events
+        if isinstance(e, SyncEvent) or (e.mask & (1 << bit))
+    )
+    assert sampled.static_races <= truth
+
+
+@slow
+@given(params=program_params, sched_seed=st.integers(0, 1000))
+def test_full_detector_subset_of_oracle(params, sched_seed):
+    program = random_program(**params)
+    _, log = LiteRace(sampler="Full", seed=sched_seed).profile(program)
+    summary = detect_races(log.events)
+    oracle = oracle_races(log.events)
+    assert summary.static_races <= oracle.static_races
+    # and they agree on which addresses are racy
+    assert summary.addresses == oracle.addresses
+
+
+@slow
+@given(params=program_params, sched_seed=st.integers(0, 1000))
+def test_execution_is_deterministic(params, sched_seed):
+    program = random_program(**params)
+
+    def run_once():
+        result = LiteRace(sampler="TL-Ad", seed=sched_seed).run(program)
+        return (result.run.clock, result.run.steps, len(result.log),
+                sorted(result.report.occurrences.items()))
+
+    assert run_once() == run_once()
+
+
+@slow
+@given(params=program_params, sched_seed=st.integers(0, 1000))
+def test_merge_is_race_exact_on_addresses(params, sched_seed):
+    """Timestamp-merge reconstruction reports exactly the racy addresses
+    of the true order (atomic timestamps, full log)."""
+    tool = LiteRace(sampler="Full", seed=sched_seed)
+    program = random_program(**params)
+    _, log = tool.profile(program)
+    report, inconsistencies = tool.analyze_log(log)
+    assert inconsistencies == 0
+    assert report.addresses == detect_races(log.events).addresses
+
+
+@slow
+@given(params=program_params, sched_seed=st.integers(0, 1000))
+def test_log_round_trip(params, sched_seed):
+    program = random_program(**params)
+    _, log = LiteRace(sampler="TL-Ad", seed=sched_seed).profile(program)
+    decoded = decode_log(encode_log(log))
+    original = log.per_thread()
+    restored = decoded.per_thread()
+    assert set(original) == set(restored)
+    for tid, events in original.items():
+        got = restored[tid]
+        assert len(got) == len(events)
+        for a, b in zip(events, got):
+            if isinstance(a, MemoryEvent):
+                assert (a.addr, a.pc, a.is_write) == (b.addr, b.pc,
+                                                      b.is_write)
+            else:
+                assert a == b
+
+
+@slow
+@given(params=program_params, sched_seed=st.integers(0, 200))
+def test_full_logging_dominates_every_sampler(params, sched_seed):
+    """A sampler never detects a racy address that full logging misses."""
+    program = random_program(**params)
+    marked = run_marked(program, ["TL-Ad", "Rnd10"], seed=sched_seed)
+    full = detect_races(marked.log.events)
+    for bit in (0, 1):
+        sampled = detect_races(
+            e for e in marked.log.events
+            if isinstance(e, SyncEvent) or (e.mask & (1 << bit))
+        )
+        assert sampled.addresses <= full.addresses

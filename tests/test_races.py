@@ -1,0 +1,74 @@
+"""Tests for race reports and rare/frequent classification."""
+
+from repro.detector.races import RaceInstance, RaceReport
+
+
+def instance(pc1, pc2, addr=0x100, tids=(1, 2)):
+    return RaceInstance(addr=addr, first_tid=tids[0], second_tid=tids[1],
+                        first_pc=pc1, second_pc=pc2,
+                        first_is_write=True, second_is_write=True)
+
+
+class TestGrouping:
+    def test_key_is_sorted_pair(self):
+        assert instance(30, 10).key == (10, 30)
+        assert instance(10, 30).key == (10, 30)
+
+    def test_occurrences_accumulate_per_key(self):
+        report = RaceReport()
+        report.record(instance(10, 30))
+        report.record(instance(30, 10))
+        assert report.occurrences == {(10, 30): 2}
+        assert report.num_static == 1
+        assert report.num_dynamic == 2
+
+    def test_first_example_kept(self):
+        report = RaceReport()
+        report.record(instance(10, 30, addr=0xAAA))
+        report.record(instance(10, 30, addr=0xBBB))
+        assert report.examples[(10, 30)].addr == 0xAAA
+
+    def test_merge(self):
+        a = RaceReport()
+        a.record(instance(1, 2))
+        b = RaceReport()
+        b.record(instance(1, 2))
+        b.record(instance(3, 4))
+        a.merge(b)
+        assert a.occurrences == {(1, 2): 2, (3, 4): 1}
+
+    def test_summary_rows_sorted_by_occurrence(self):
+        report = RaceReport()
+        for _ in range(3):
+            report.record(instance(5, 6))
+        report.record(instance(1, 2))
+        rows = report.summary_rows()
+        assert rows[0] == (5, 6, 3)
+        assert rows[1] == (1, 2, 1)
+
+
+class TestClassification:
+    def make_report(self, counts):
+        report = RaceReport()
+        for index, count in enumerate(counts):
+            for _ in range(count):
+                report.record(instance(index * 2, index * 2 + 1))
+        return report
+
+    def test_threshold_is_three_per_million(self):
+        # 2M non-stack ops -> threshold 6 occurrences
+        report = self.make_report([1, 5, 6, 100])
+        rare, frequent = report.classify(2_000_000)
+        assert rare == {(0, 1), (2, 3)}
+        assert frequent == {(4, 5), (6, 7)}
+
+    def test_small_runs_make_everything_frequent(self):
+        report = self.make_report([1])
+        rare, frequent = report.classify(100_000)  # threshold 0.3
+        assert rare == set()
+        assert frequent == {(0, 1)}
+
+    def test_zero_denominator_guarded(self):
+        report = self.make_report([1])
+        rare, frequent = report.classify(0)
+        assert rare | frequent == {(0, 1)}

@@ -1,0 +1,84 @@
+"""Tests for the interleaving schedulers."""
+
+from repro.runtime.scheduler import RandomInterleaver, RoundRobinScheduler
+
+import pytest
+
+
+class TestRandomInterleaver:
+    def test_same_seed_same_sequence(self):
+        def drive(seed):
+            s = RandomInterleaver(seed)
+            current = None
+            picks = []
+            for _ in range(200):
+                current = s.next_thread(current, [0, 1, 2])
+                picks.append(current)
+            return picks
+
+        assert drive(42) == drive(42)
+        assert drive(42) != drive(43)
+
+    def test_low_switch_prob_means_long_runs(self):
+        s = RandomInterleaver(0, switch_prob=0.01)
+        current = 0
+        switches = 0
+        for _ in range(1000):
+            nxt = s.next_thread(current, [0, 1])
+            if nxt != current:
+                switches += 1
+            current = nxt
+        assert switches < 100
+
+    def test_blocked_current_forces_switch(self):
+        s = RandomInterleaver(0, switch_prob=0.0)
+        # current not in runnable -> must pick someone runnable
+        assert s.next_thread(5, [1, 2]) in (1, 2)
+
+    def test_every_runnable_eventually_scheduled(self):
+        s = RandomInterleaver(7, switch_prob=0.5)
+        seen = set()
+        current = None
+        for _ in range(500):
+            current = s.next_thread(current, [0, 1, 2, 3])
+            seen.add(current)
+        assert seen == {0, 1, 2, 3}
+
+    def test_invalid_switch_prob(self):
+        with pytest.raises(ValueError):
+            RandomInterleaver(0, switch_prob=1.5)
+
+    def test_fork_seed_derives_new_policy(self):
+        s = RandomInterleaver(1, switch_prob=0.2)
+        child = s.fork_seed(3)
+        assert isinstance(child, RandomInterleaver)
+        assert child.switch_prob == 0.2
+        assert child.seed != s.seed
+
+
+class TestRoundRobin:
+    def test_quantum_respected(self):
+        s = RoundRobinScheduler(quantum=3)
+        picks = []
+        current = None
+        for _ in range(9):
+            current = s.next_thread(current, [0, 1, 2])
+            picks.append(current)
+        assert picks == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_wraps_around(self):
+        s = RoundRobinScheduler(quantum=1)
+        picks = []
+        current = None
+        for _ in range(6):
+            current = s.next_thread(current, [0, 1, 2])
+            picks.append(current)
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_blocked(self):
+        s = RoundRobinScheduler(quantum=2)
+        assert s.next_thread(0, [2, 5]) in (2, 5)
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(quantum=0)

@@ -1,0 +1,97 @@
+"""Tests for runtime mutexes and events."""
+
+import pytest
+
+from repro.runtime.sync import Event, Mutex, SyncError
+
+
+class TestMutex:
+    def test_uncontended_acquire(self):
+        m = Mutex()
+        assert m.acquire(1) is True
+        assert m.owner == 1
+
+    def test_contended_acquire_queues(self):
+        m = Mutex()
+        m.acquire(1)
+        assert m.acquire(2) is False
+        assert list(m.waiters) == [2]
+
+    def test_release_hands_off_fifo(self):
+        m = Mutex()
+        m.acquire(1)
+        m.acquire(2)
+        m.acquire(3)
+        assert m.release(1) == 2
+        assert m.owner == 2
+        assert m.release(2) == 3
+
+    def test_release_with_no_waiters_clears_owner(self):
+        m = Mutex()
+        m.acquire(1)
+        assert m.release(1) is None
+        assert m.owner is None
+
+    def test_release_by_non_owner_rejected(self):
+        m = Mutex()
+        m.acquire(1)
+        with pytest.raises(SyncError):
+            m.release(2)
+
+    def test_reentrant_acquire_rejected(self):
+        m = Mutex()
+        m.acquire(1)
+        with pytest.raises(SyncError):
+            m.acquire(1)
+
+
+class TestEventConsume:
+    def test_wait_blocks_without_signal(self):
+        e = Event()
+        assert e.wait(1, consume=True) is False
+        assert e.has_waiters
+
+    def test_notify_wakes_one_consumer(self):
+        e = Event()
+        e.wait(1, consume=True)
+        e.wait(2, consume=True)
+        assert e.notify() == [1]
+        assert e.notify() == [2]
+
+    def test_pending_signal_consumed_by_later_wait(self):
+        e = Event()
+        e.notify()
+        e.notify()
+        assert e.wait(1, consume=True) is True
+        assert e.wait(2, consume=True) is True
+        assert e.wait(3, consume=True) is False
+
+    def test_semaphore_count_balance(self):
+        e = Event()
+        for _ in range(5):
+            e.notify()
+        passes = sum(e.wait(t, consume=True) for t in range(8))
+        assert passes == 5
+
+
+class TestEventSticky:
+    def test_sticky_wait_passes_after_any_signal(self):
+        e = Event()
+        e.notify()
+        assert e.wait(1, consume=False) is True
+        assert e.wait(2, consume=False) is True  # stays signaled
+
+    def test_sticky_waiters_all_wake(self):
+        e = Event()
+        e.wait(1, consume=False)
+        e.wait(2, consume=False)
+        e.wait(3, consume=True)
+        woken = e.notify()
+        assert set(woken) == {1, 2, 3}
+
+    def test_mixed_sticky_then_consume(self):
+        e = Event()
+        e.notify()                       # pending = 1, signaled
+        assert e.wait(1, consume=False)  # does not consume
+        assert e.wait(2, consume=True)   # consumes the pending signal
+        assert e.wait(3, consume=True) is False

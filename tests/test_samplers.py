@@ -1,0 +1,146 @@
+"""Tests for the Table 3 samplers."""
+
+import pytest
+
+from repro.core.samplers import (
+    BURST_LENGTH,
+    BurstySampler,
+    FullSampler,
+    NeverSampler,
+    RandomSampler,
+    SAMPLER_ORDER,
+    UnColdRegionSampler,
+    make_sampler,
+    thread_local_adaptive,
+)
+
+
+def decisions(state, n, tid=0, func="f"):
+    return [state.should_sample(tid, func) for _ in range(n)]
+
+
+class TestBurstStructure:
+    def test_first_burst_samples_everything(self):
+        state = BurstySampler((0.05,), thread_local=True)
+        assert all(decisions(state, BURST_LENGTH))
+
+    def test_gap_follows_burst(self):
+        state = BurstySampler((0.05,), thread_local=True, jitter=0.0)
+        picks = decisions(state, 200)
+        assert picks[:10] == [True] * 10
+        assert not any(picks[10:200])
+
+    def test_burst_returns_after_gap(self):
+        state = BurstySampler((0.5,), thread_local=True, jitter=0.0)
+        picks = decisions(state, 40)
+        # rate 0.5, burst 10 -> gap 10: pattern 10 on, 10 off, ...
+        assert picks[:10] == [True] * 10
+        assert picks[10:20] == [False] * 10
+        assert picks[20:30] == [True] * 10
+
+    def test_rate_100_percent_never_gaps(self):
+        state = BurstySampler((1.0,), thread_local=True)
+        assert all(decisions(state, 500))
+
+    def test_effective_rate_approximates_schedule(self):
+        state = BurstySampler((0.05,), thread_local=True, seed=3)
+        picks = decisions(state, 20_000)
+        rate = sum(picks) / len(picks)
+        assert 0.035 <= rate <= 0.07
+
+    def test_jitter_varies_gaps_but_is_seeded(self):
+        def gaps(seed):
+            state = BurstySampler((0.05,), thread_local=True, seed=seed)
+            picks = decisions(state, 2000)
+            return picks
+
+        assert gaps(1) == gaps(1)
+        assert gaps(1) != gaps(2)
+
+
+class TestAdaptiveBackoff:
+    def test_rate_decreases_after_each_burst(self):
+        state = thread_local_adaptive().make_state()
+        assert state.current_rate(0, "f") == 1.0
+        decisions(state, 10)   # complete first burst
+        assert state.current_rate(0, "f") == 0.1
+
+    def test_rate_floors_at_schedule_end(self):
+        state = BurstySampler((1.0, 0.5, 0.1), thread_local=True, jitter=0.0)
+        for _ in range(5000):
+            state.should_sample(0, "f")
+        assert state.current_rate(0, "f") == 0.1
+
+    def test_floor_never_reaches_zero(self):
+        state = thread_local_adaptive().make_state()
+        picks = decisions(state, 60_000)
+        # even deep in the run, bursts still occur at the 0.1% floor
+        assert any(picks[40_000:])
+
+
+class TestThreadLocality:
+    def test_each_thread_starts_cold(self):
+        state = thread_local_adaptive().make_state()
+        decisions(state, 5000, tid=0)  # make it hot for thread 0
+        assert state.should_sample(1, "f") is True  # thread 1's first call
+
+    def test_global_sampler_shares_heat(self):
+        state = BurstySampler((1.0, 0.001), thread_local=False, jitter=0.0)
+        decisions(state, 5000, tid=0)
+        assert state.should_sample(1, "f") is False
+
+    def test_functions_tracked_independently(self):
+        state = thread_local_adaptive().make_state()
+        decisions(state, 5000, func="hot")
+        assert state.should_sample(0, "cold") is True
+
+
+class TestOtherSamplers:
+    def test_random_rate(self):
+        state = RandomSampler(0.25, seed=7)
+        picks = decisions(state, 10_000)
+        assert 0.22 <= sum(picks) / len(picks) <= 0.28
+
+    def test_random_is_seeded(self):
+        a = decisions(RandomSampler(0.5, seed=1), 100)
+        b = decisions(RandomSampler(0.5, seed=1), 100)
+        assert a == b
+
+    def test_random_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            RandomSampler(1.5)
+
+    def test_ucp_skips_first_ten_per_thread(self):
+        state = UnColdRegionSampler(skip=10)
+        picks = decisions(state, 15, tid=0)
+        assert picks == [False] * 10 + [True] * 5
+        # a new thread starts skipping again
+        assert state.should_sample(1, "f") is False
+
+    def test_full_sampler_has_no_dispatch_cost(self):
+        state = FullSampler()
+        assert state.dispatch_cost == 0
+        assert all(decisions(state, 50))
+
+    def test_never_sampler_pays_dispatch(self):
+        state = NeverSampler()
+        assert state.dispatch_cost == 8
+        assert not any(decisions(state, 50))
+
+
+class TestRegistry:
+    def test_all_table3_samplers_constructible(self):
+        for name in SAMPLER_ORDER:
+            sampler = make_sampler(name)
+            assert sampler.short_name == name
+            sampler.make_state(0).should_sample(0, "f")
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            make_sampler("TL-Bogus")
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            BurstySampler((), thread_local=True)
+        with pytest.raises(ValueError):
+            BurstySampler((0.0,), thread_local=True)

@@ -1,0 +1,95 @@
+"""Tests for TIR address expressions."""
+
+import pytest
+
+from repro.layout import tls_base_for
+from repro.runtime.thread_state import Frame, ThreadState
+from repro.tir.addr import HeapSlot, Indexed, Param, Tls, resolve_addr
+
+
+def make_frame(tid=3, params=(100, 200), num_slots=2):
+    thread = ThreadState(tid, "worker")
+    return Frame(thread, "worker", params, num_slots)
+
+
+class TestResolve:
+    def test_plain_int_resolves_to_itself(self):
+        assert resolve_addr(0x1234, make_frame()) == 0x1234
+
+    def test_param(self):
+        frame = make_frame(params=(55, 77))
+        assert Param(0).resolve(frame) == 55
+        assert Param(1).resolve(frame) == 77
+
+    def test_param_offset(self):
+        frame = make_frame(params=(1000,))
+        assert Param(0, 24).resolve(frame) == 1024
+
+    def test_param_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            Param(5).resolve(make_frame(params=(1,)))
+
+    def test_tls_uses_thread_base(self):
+        frame = make_frame(tid=9)
+        assert Tls(16).resolve(frame) == tls_base_for(9) + 16
+
+    def test_tls_distinct_threads_never_alias(self):
+        a = Tls(8).resolve(make_frame(tid=1))
+        b = Tls(8).resolve(make_frame(tid=2))
+        assert a != b
+
+    def test_heap_slot(self):
+        frame = make_frame()
+        frame.slots[1] = 0x4000_0040
+        assert HeapSlot(1).resolve(frame) == 0x4000_0040
+        assert HeapSlot(1, 8).resolve(frame) == 0x4000_0048
+
+
+class TestIndexed:
+    def test_innermost_loop_index(self):
+        frame = make_frame()
+        frame.push_loop()
+        frame.advance_loop()
+        frame.advance_loop()
+        assert Indexed(1000, 8, 0).resolve(frame) == 1016
+
+    def test_outer_loop_depth(self):
+        frame = make_frame()
+        frame.push_loop()          # outer: index 0
+        frame.advance_loop()       # outer -> 1
+        frame.push_loop()          # inner: index 0
+        frame.advance_loop()
+        frame.advance_loop()       # inner -> 2
+        assert Indexed(0, 10, 0).resolve(frame) == 20   # inner
+        assert Indexed(0, 10, 1).resolve(frame) == 10   # outer
+
+    def test_indexed_over_param_base(self):
+        frame = make_frame(params=(5000,))
+        frame.push_loop()
+        frame.advance_loop()
+        assert Indexed(Param(0), 16, 0).resolve(frame) == 5016
+
+    def test_nested_indexed_bases_compose(self):
+        frame = make_frame(params=(1000,))
+        frame.push_loop()          # outer -> depth 1 from access
+        frame.advance_loop()       # outer = 1
+        frame.push_loop()          # inner -> depth 0
+        frame.advance_loop()
+        frame.advance_loop()       # inner = 2
+        expr = Indexed(Indexed(Param(0), 100, 1), 8, 0)
+        assert expr.resolve(frame) == 1000 + 100 * 1 + 8 * 2
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Indexed(0, 8).stride = 9
+
+
+class TestLoopStack:
+    def test_pop_restores_outer(self):
+        frame = make_frame()
+        frame.push_loop()
+        frame.advance_loop()
+        frame.push_loop()
+        frame.pop_loop()
+        assert frame.loop_index(0) == 1
+        assert frame.loop_depth == 1

@@ -1,0 +1,98 @@
+"""Tests for the ProgramBuilder DSL."""
+
+import pytest
+
+from repro.layout import GLOBALS_BASE
+from repro.tir import ops
+from repro.tir.builder import ProgramBuilder
+from repro.tir.program import ProgramError
+
+
+class TestGlobals:
+    def test_global_addr_is_stable(self):
+        b = ProgramBuilder()
+        assert b.global_addr("x") == b.global_addr("x")
+
+    def test_distinct_names_distinct_addrs(self):
+        b = ProgramBuilder()
+        assert b.global_addr("x") != b.global_addr("y")
+
+    def test_globals_live_in_globals_region(self):
+        b = ProgramBuilder()
+        assert b.global_addr("x") >= GLOBALS_BASE
+
+    def test_array_reserves_span(self):
+        b = ProgramBuilder()
+        base = b.global_array("arr", 100, 8)
+        nxt = b.global_addr("after")
+        assert nxt >= base + 100 * 8
+
+    def test_globals_mapping_is_a_copy(self):
+        b = ProgramBuilder()
+        b.global_addr("x")
+        snapshot = b.globals
+        snapshot["x"] = 0
+        assert b.global_addr("x") != 0
+
+
+class TestFunctionBuilding:
+    def test_emission_order(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.read(1)
+            f.write(2)
+            f.compute(3)
+        body = b.build(entry="f").function("f").body
+        assert [type(i) for i in body] == [ops.Read, ops.Write, ops.Compute]
+
+    def test_loop_nesting(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            with f.loop(4):
+                f.read(1)
+                with f.loop(2):
+                    f.write(2)
+        outer = b.build(entry="f").function("f").body[0]
+        assert isinstance(outer, ops.Loop) and outer.count == 4
+        inner = outer.body[1]
+        assert isinstance(inner, ops.Loop) and inner.count == 2
+
+    def test_critical_emits_lock_pair(self):
+        b = ProgramBuilder()
+        lock = b.global_addr("l")
+        with b.function("f") as f:
+            with f.critical(lock):
+                f.read(1)
+        body = b.build(entry="f").function("f").body
+        assert isinstance(body[0], ops.Lock)
+        assert isinstance(body[-1], ops.Unlock)
+
+    def test_update_emits_read_then_write(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            r, w = f.update(7)
+        assert isinstance(r, ops.Read) and isinstance(w, ops.Write)
+
+    def test_via_cas_flag(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            lk = f.lock(1, via_cas=True)
+            ul = f.unlock(1, via_cas=True)
+        assert lk.via_cas and ul.via_cas
+
+    def test_duplicate_function_rejected(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.compute(1)
+        with pytest.raises(ProgramError, match="duplicate"):
+            with b.function("f") as f:
+                f.compute(1)
+
+    def test_fork_records_slot_and_args(self):
+        b = ProgramBuilder()
+        with b.function("child", params=2) as f:
+            f.compute(1)
+        with b.function("main", slots=1) as f:
+            instr = f.fork("child", 10, 20, tid_slot=0)
+        assert instr.args == (10, 20) and instr.tid_slot == 0
+        b.build(entry="main")

@@ -1,0 +1,40 @@
+"""Tests for instruction-set metadata and misc TIR properties."""
+
+from repro.tir import ops
+from repro.tir.ops import MEMORY_OPS, SYNC_OPS
+
+
+class TestInstructionClassification:
+    def test_sync_ops_cover_every_synchronizing_kind(self):
+        for cls in (ops.Lock, ops.Unlock, ops.Wait, ops.Notify, ops.Fork,
+                    ops.Join, ops.AtomicRMW, ops.Alloc, ops.Free):
+            assert cls in SYNC_OPS
+
+    def test_memory_ops_are_reads_and_writes(self):
+        assert set(MEMORY_OPS) == {ops.Read, ops.Write}
+
+    def test_classes_disjoint(self):
+        assert not set(SYNC_OPS) & set(MEMORY_OPS)
+
+    def test_compute_io_call_loop_are_neither(self):
+        for cls in (ops.Compute, ops.Io, ops.Call, ops.Loop):
+            assert cls not in SYNC_OPS
+            assert cls not in MEMORY_OPS
+
+
+class TestIdentitySemantics:
+    def test_instructions_compare_by_identity(self):
+        a = ops.Read(100)
+        b = ops.Read(100)
+        assert a != b
+        assert a == a
+
+    def test_pc_defaults_to_unassigned(self):
+        assert ops.Write(1).pc == -1
+
+    def test_defaults(self):
+        assert ops.Compute().n == 1
+        assert ops.Wait(1).consume is True
+        assert ops.Lock(1).via_cas is False
+        assert ops.Fork("f").args == ()
+        assert ops.Fork("f").tid_slot is None

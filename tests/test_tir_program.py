@@ -1,0 +1,137 @@
+"""Tests for Program/Function validation and PC assignment."""
+
+import pytest
+
+from repro.tir import ops
+from repro.tir.builder import ProgramBuilder
+from repro.tir.program import Function, Program, ProgramError
+
+
+def build_single(body, name="f", entry="f", **func_kwargs):
+    return Program([Function(name, tuple(body), **func_kwargs)], entry=entry)
+
+
+class TestFinalize:
+    def test_pcs_are_unique_and_dense(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.compute(1)
+            with f.loop(3):
+                f.read(0x100)
+                f.write(0x108)
+            f.compute(2)
+        program = b.build(entry="f")
+        pcs = [instr.pc for instr in program.function("f").instructions()]
+        assert sorted(pcs) == list(range(len(pcs)))
+
+    def test_instr_at_roundtrip(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.read(0x100)
+        program = b.build(entry="f")
+        for instr in program.function("f").instructions():
+            assert program.instr_at(instr.pc) is instr
+
+    def test_static_size_counts_loop_bodies(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            with f.loop(1000):
+                f.read(0x100)
+        program = b.build(entry="f")
+        # loop + read = 2 static instructions regardless of trip count
+        assert program.static_size == 2
+
+    def test_planted_races_default_empty(self):
+        program = build_single([ops.Compute(1)])
+        assert program.planted_races == ()
+
+
+class TestValidation:
+    def test_missing_entry(self):
+        with pytest.raises(ProgramError, match="entry"):
+            Program([Function("f", (ops.Compute(1),))], entry="nope")
+
+    def test_duplicate_function_names(self):
+        funcs = [Function("f", (ops.Compute(1),)),
+                 Function("f", (ops.Compute(1),))]
+        with pytest.raises(ProgramError, match="duplicate"):
+            Program(funcs, entry="f")
+
+    def test_undefined_callee(self):
+        with pytest.raises(ProgramError, match="undefined function"):
+            build_single([ops.Call("ghost")])
+
+    def test_wrong_arity(self):
+        callee = Function("callee", (ops.Compute(1),), num_params=2)
+        caller = Function("caller", (ops.Call("callee", (1,)),))
+        with pytest.raises(ProgramError, match="params"):
+            Program([callee, caller], entry="caller")
+
+    def test_fork_arity_checked(self):
+        child = Function("child", (ops.Compute(1),), num_params=1)
+        parent = Function("parent", (ops.Fork("child", ()),))
+        with pytest.raises(ProgramError, match="params"):
+            Program([child, parent], entry="parent")
+
+    def test_join_slot_out_of_range(self):
+        with pytest.raises(ProgramError, match="slot"):
+            build_single([ops.Join(0)])  # no slots declared
+
+    def test_alloc_slot_out_of_range(self):
+        with pytest.raises(ProgramError, match="slot"):
+            build_single([ops.Alloc(64, 3)], num_slots=2)
+
+    def test_alloc_size_positive(self):
+        with pytest.raises(ProgramError, match="positive"):
+            build_single([ops.Alloc(0, 0)], num_slots=1)
+
+    def test_negative_compute(self):
+        with pytest.raises(ProgramError, match="Compute"):
+            build_single([ops.Compute(-1)])
+
+    def test_negative_io(self):
+        with pytest.raises(ProgramError, match="Io"):
+            build_single([ops.Io(-5)])
+
+    def test_negative_loop_count(self):
+        with pytest.raises(ProgramError, match="Loop count"):
+            build_single([ops.Loop(-1, (ops.Compute(1),))])
+
+    def test_empty_loop_body(self):
+        with pytest.raises(ProgramError, match="empty"):
+            build_single([ops.Loop(3, ())])
+
+    def test_valid_program_passes(self):
+        program = build_single([ops.Compute(1), ops.Read(0x100)])
+        assert program.num_functions == 1
+
+
+class TestSymbolize:
+    def test_function_of_pc(self):
+        b = ProgramBuilder()
+        with b.function("first") as f:
+            f.read(1)
+        with b.function("second") as f:
+            f.write(2)
+        program = b.build(entry="first")
+        read_pc = program.function("first").body[0].pc
+        write_pc = program.function("second").body[0].pc
+        assert program.function_of_pc(read_pc) == "first"
+        assert program.function_of_pc(write_pc) == "second"
+
+    def test_symbolize_format(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.compute(1)
+            f.write(2)
+        program = b.build(entry="f")
+        pc = program.function("f").body[1].pc
+        assert program.symbolize(pc) == "f+1 (Write)"
+
+    def test_symbolize_unknown_pc(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.compute(1)
+        program = b.build(entry="f")
+        assert program.symbolize(-1) == "pc-1"
+        assert program.symbolize(999) == "pc999"

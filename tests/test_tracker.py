@@ -1,0 +1,91 @@
+"""Tests for the hashed-counter timestamp tracker (§4.2)."""
+
+import pytest
+
+from repro.core.tracker import NUM_COUNTERS, TimestampTracker
+
+
+VAR = ("mutex", 0x1000)
+OTHER = ("mutex", 0x2000)
+
+
+class TestAtomicMode:
+    def test_timestamps_strictly_increase_per_var(self):
+        tracker = TimestampTracker()
+        stamps = [tracker.stamp(VAR) for _ in range(100)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 100
+
+    def test_atomic_ops_also_monotone(self):
+        tracker = TimestampTracker()
+        stamps = [tracker.stamp(("atomic", 5), may_tear=True)
+                  for _ in range(100)]
+        assert stamps == sorted(stamps)
+
+    def test_counter_index_stable_across_instances(self):
+        a = TimestampTracker().counter_index(VAR)
+        b = TimestampTracker().counter_index(VAR)
+        assert a == b
+
+    def test_counter_index_in_range(self):
+        tracker = TimestampTracker()
+        for i in range(200):
+            assert 0 <= tracker.counter_index(("mutex", i)) < NUM_COUNTERS
+
+    def test_vars_spread_over_counters(self):
+        tracker = TimestampTracker()
+        indexes = {tracker.counter_index(("mutex", i)) for i in range(500)}
+        assert len(indexes) > NUM_COUNTERS // 2
+
+    def test_single_counter_mode(self):
+        tracker = TimestampTracker(num_counters=1)
+        a = tracker.stamp(VAR)
+        b = tracker.stamp(OTHER)
+        assert b == a + 1  # everything shares one counter
+
+    def test_stamps_issued_counter(self):
+        tracker = TimestampTracker()
+        for _ in range(7):
+            tracker.stamp(VAR)
+        assert tracker.stamps_issued == 7
+
+
+class TestTornMode:
+    def test_inversions_happen_only_for_tearable_ops(self):
+        tracker = TimestampTracker(atomic=False, race_prob=1.0, seed=1)
+        a = [tracker.stamp(VAR) for _ in range(50)]
+        assert a == sorted(a)  # plain sync ops still fine
+        assert tracker.inversions == 0
+
+    def test_torn_stamps_invert_order(self):
+        tracker = TimestampTracker(num_counters=1, atomic=False,
+                                   race_prob=1.0, seed=1)
+        first = tracker.stamp(("atomic", 1), may_tear=True)
+        second = tracker.stamp(("atomic", 1), may_tear=True)
+        assert second < first  # the inversion
+        assert tracker.inversions >= 1
+
+    def test_atomic_flag_suppresses_tearing(self):
+        tracker = TimestampTracker(atomic=True, race_prob=1.0, seed=1)
+        stamps = [tracker.stamp(("atomic", 1), may_tear=True)
+                  for _ in range(50)]
+        assert stamps == sorted(stamps)
+        assert tracker.inversions == 0
+
+    def test_torn_mode_is_seeded(self):
+        def run(seed):
+            t = TimestampTracker(atomic=False, race_prob=0.5, seed=seed)
+            return [t.stamp(("atomic", 1), may_tear=True) for _ in range(50)]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+class TestValidation:
+    def test_counter_count_positive(self):
+        with pytest.raises(ValueError):
+            TimestampTracker(num_counters=0)
+
+    def test_race_prob_range(self):
+        with pytest.raises(ValueError):
+            TimestampTracker(race_prob=2.0)

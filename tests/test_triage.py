@@ -1,0 +1,62 @@
+"""Tests for the triage-report renderer."""
+
+from repro.core.literace import LiteRace
+from repro.core.triage import render_triage, triage
+from repro.workloads.synthetic import two_thread_racer
+
+
+def analyzed(synchronized=False):
+    program = two_thread_racer(synchronized=synchronized)
+    return program, LiteRace(sampler="Full", seed=1).run(program)
+
+
+class TestTriage:
+    def test_symbolizes_race_sites(self):
+        program, result = analyzed()
+        races = triage(program, result.report,
+                       result.run.nonstack_memory_ops)
+        assert len(races) == 1
+        assert races[0].first.startswith("writer+")
+        assert races[0].kinds == "write-write"
+
+    def test_sorted_by_occurrence(self):
+        program, result = analyzed()
+        races = triage(program, result.report,
+                       result.run.nonstack_memory_ops)
+        counts = [race.occurrences for race in races]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_headline_contains_classification(self):
+        program, result = analyzed()
+        races = triage(program, result.report,
+                       result.run.nonstack_memory_ops)
+        assert "write-write" in races[0].headline()
+
+
+class TestRender:
+    def test_report_with_races(self):
+        program, result = analyzed()
+        text = render_triage(program, result)
+        assert "1 static data race(s)" in text
+        assert "writer+" in text
+        assert "coverage" in text and "overhead" in text
+
+    def test_clean_report_warns_about_sampling(self):
+        program, result = analyzed(synchronized=True)
+        text = render_triage(program, result)
+        assert "No data races detected" in text
+        assert "not a proof of absence" in text
+
+    def test_custom_title(self):
+        program, result = analyzed()
+        text = render_triage(program, result, title="My run")
+        assert text.splitlines()[0] == "My run"
+
+    def test_torn_timestamps_flagged(self):
+        from repro.workloads.synthetic import cas_lock_program
+
+        program = cas_lock_program(1, threads=4, iterations=200)
+        result = LiteRace(sampler="Full", seed=1,
+                          atomic_timestamps=False).run(program)
+        text = render_triage(program, result)
+        assert "WARNING" in text

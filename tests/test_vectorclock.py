@@ -1,0 +1,114 @@
+"""Unit and property tests for vector clocks."""
+
+from hypothesis import given, strategies as st
+
+from repro.detector.vectorclock import VectorClock
+
+
+def vc(d):
+    return VectorClock(d)
+
+
+clock_dicts = st.dictionaries(st.integers(0, 5), st.integers(0, 20),
+                              max_size=6)
+
+
+class TestBasics:
+    def test_empty_clock_reads_zero(self):
+        assert vc({}).get(3) == 0
+
+    def test_tick(self):
+        c = vc({})
+        c.tick(2)
+        c.tick(2)
+        assert c.get(2) == 2
+
+    def test_join_takes_pointwise_max(self):
+        a = vc({1: 5, 2: 1})
+        a.join(vc({1: 3, 2: 7, 3: 2}))
+        assert (a.get(1), a.get(2), a.get(3)) == (5, 7, 2)
+
+    def test_copy_is_independent(self):
+        a = vc({1: 1})
+        b = a.copy()
+        b.tick(1)
+        assert a.get(1) == 1
+
+    def test_equality_ignores_zero_entries(self):
+        assert vc({1: 0, 2: 3}) == vc({2: 3})
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(vc({1: 0, 2: 3})) == hash(vc({2: 3}))
+
+
+class TestOrdering:
+    def test_leq_reflexive(self):
+        a = vc({1: 2, 2: 3})
+        assert a.leq(a)
+
+    def test_happens_before_strict(self):
+        a = vc({1: 1})
+        b = vc({1: 2})
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+        assert not a.happens_before(a)
+
+    def test_concurrent(self):
+        a = vc({1: 2, 2: 0})
+        b = vc({1: 0, 2: 2})
+        assert a.concurrent(b)
+        assert b.concurrent(a)
+
+    def test_not_concurrent_when_ordered(self):
+        a = vc({1: 1})
+        b = vc({1: 1, 2: 4})
+        assert not a.concurrent(b)
+
+
+class TestProperties:
+    @given(clock_dicts, clock_dicts)
+    def test_join_is_upper_bound(self, d1, d2):
+        a, b = vc(d1), vc(d2)
+        joined = a.copy()
+        joined.join(b)
+        assert a.leq(joined)
+        assert b.leq(joined)
+
+    @given(clock_dicts, clock_dicts)
+    def test_join_commutative(self, d1, d2):
+        left = vc(d1)
+        left.join(vc(d2))
+        right = vc(d2)
+        right.join(vc(d1))
+        assert left == right
+
+    @given(clock_dicts, clock_dicts, clock_dicts)
+    def test_join_associative(self, d1, d2, d3):
+        a = vc(d1)
+        a.join(vc(d2))
+        a.join(vc(d3))
+        b = vc(d2)
+        b.join(vc(d3))
+        c = vc(d1)
+        c.join(b)
+        assert a == c
+
+    @given(clock_dicts, clock_dicts)
+    def test_trichotomy_of_relations(self, d1, d2):
+        a, b = vc(d1), vc(d2)
+        relations = [a.happens_before(b), b.happens_before(a),
+                     a.concurrent(b), a == b]
+        assert sum(relations) == 1
+
+    @given(clock_dicts, clock_dicts, clock_dicts)
+    def test_leq_transitive(self, d1, d2, d3):
+        a, b, c = vc(d1), vc(d2), vc(d3)
+        if a.leq(b) and b.leq(c):
+            assert a.leq(c)
+
+    @given(clock_dicts)
+    def test_tick_strictly_increases(self, d):
+        a = vc(d)
+        before = a.copy()
+        a.tick(1)
+        assert before.happens_before(a)

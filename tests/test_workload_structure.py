@@ -1,0 +1,149 @@
+"""Structural tests pinning each benchmark's design (docs/workload_design.md).
+
+These are the rules that make planted races respond to samplers the way
+the paper's real races did; if a refactor breaks one, the evaluation
+numbers will silently drift, so they are pinned here explicitly.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.core.literace import run_baseline
+from repro.tir import ops
+from repro.tir.ops import Call, Fork, Io, Loop
+
+
+def build(name, scale=0.05):
+    return workloads.build(name, seed=1, scale=scale)
+
+
+def call_counts(program, seed=1):
+    """Dynamic call count per function name."""
+    from repro.runtime.executor import Executor, Harness
+    from repro.runtime.scheduler import RandomInterleaver
+
+    class Counter(Harness):
+        def __init__(self):
+            self.counts = {}
+
+        def enter_function(self, tid, func_name):
+            self.counts[func_name] = self.counts.get(func_name, 0) + 1
+            return False, 0
+
+        def memory_event(self, *a):
+            return 0
+
+        def sync_event(self, *a):
+            return 0
+
+    harness = Counter()
+    Executor(program, scheduler=RandomInterleaver(seed),
+             harness=harness).run()
+    return harness.counts
+
+
+def static_instrs(func):
+    return list(func.instructions())
+
+
+class TestStaggeredStarts:
+    """Workers begin with a parameterized Io — the global-sampler foil."""
+
+    @pytest.mark.parametrize("name,worker", [
+        ("dryad", "producer"),
+        ("apache-1", "worker"),
+        ("firefox-start", "helper"),
+        ("firefox-render", "render_worker"),
+    ])
+    def test_worker_starts_with_io_stagger(self, name, worker):
+        program = build(name)
+        first = program.function(worker).body[0]
+        assert isinstance(first, Io)
+
+
+class TestHotCodeLivesInHelpers:
+    """Thread mains must not inline per-item memory traffic (§7 pathology)."""
+
+    @pytest.mark.parametrize("name,worker,helpers", [
+        ("dryad", "producer", {"produce_item", "chan_push"}),
+        ("dryad", "consumer", {"consume_item", "chan_pop"}),
+        ("apache-1", "worker", {"handle_static_small", "update_scoreboard"}),
+        ("firefox-render", "render_worker", {"render_div"}),
+    ])
+    def test_loops_contain_calls_not_accesses(self, name, worker, helpers):
+        program = build(name)
+
+        def loop_bodies(body):
+            for instr in body:
+                if isinstance(instr, Loop):
+                    yield instr.body
+                    yield from loop_bodies(instr.body)
+
+        called = set()
+        for body in loop_bodies(program.function(worker).body):
+            for instr in body:
+                if isinstance(instr, Call):
+                    called.add(instr.func)
+                assert not isinstance(instr, (ops.Read, ops.Write)), (
+                    f"{worker} inlines memory traffic in a loop")
+        assert helpers <= called
+
+
+class TestHotnessProfile:
+    """The archetypes depend on who is hot; pin the call-count shape."""
+
+    def test_dryad_per_item_helpers_are_hot(self):
+        program = build("dryad", scale=0.1)
+        counts = call_counts(program)
+        assert counts["chan_push"] > 1000
+        assert counts["item_checksum"] > 1000
+        # the cold sites: one call per finalizer plus main's warm loop
+        assert counts["chan_reset"] < 100
+
+    def test_apache_stats_called_once_per_batch_group(self):
+        program = build("apache-1", scale=0.2)
+        counts = call_counts(program)
+        # Worker-side bump calls (beyond the 2000 master pre-warms) happen
+        # once per stats group of ~10 batches of 6 small requests each.
+        worker_bumps = counts["bump_request_stats"] - 2000
+        assert worker_bumps > 0
+        assert counts["handle_static_small"] > 20 * worker_bumps
+        assert counts["conn_pool_flush"] < counts["bump_request_stats"]
+
+    def test_warmed_helpers_are_globally_hot_before_workers(self):
+        """Main's pre-warm loops give the cold helpers a high global count."""
+        program = build("apache-1")
+        counts = call_counts(program)
+        # 30 master warmups + 16 workers + logger-side calls
+        assert counts["child_init"] >= 30
+        assert counts["bump_request_stats"] >= 2000  # pre-warmed
+
+
+class TestRareSiteCallBudgets:
+    """Rare sites must manifest only a handful of times (Table 4 rule)."""
+
+    @pytest.mark.parametrize("name", workloads.race_eval_names())
+    def test_rare_sites_have_few_occurrences_at_full_scale(self, name):
+        # At scale 0.3 the total op count is ~1/3 of full; rare sites are
+        # scale-independent (once per thread), so their occurrence counts
+        # must already be tiny.
+        from repro.core.literace import LiteRace
+
+        program = build(name, scale=0.3)
+        report = LiteRace(sampler="Full", seed=1).run(program).report
+        rare_keys = {k for p in program.planted_races if p.expect_rare
+                     for k in p.keys}
+        for key in rare_keys & report.static_races:
+            assert report.occurrences[key] <= 4, (name, key)
+
+
+class TestCleanSubstrateTraffic:
+    def test_concrt_messaging_is_mostly_waiting(self):
+        program = build("concrt-messaging", scale=0.2)
+        result = run_baseline(program, seed=1)
+        assert result.io_cycles > 5 * result.baseline_cycles
+
+    def test_lkrhash_is_sync_dense(self):
+        program = build("lkrhash", scale=0.2)
+        result = run_baseline(program, seed=1)
+        assert result.sync_ops * 2 > result.nonstack_memory_ops

@@ -1,0 +1,114 @@
+"""Tests for the benchmark workload models."""
+
+import pytest
+
+from repro import workloads
+from repro.core.literace import LiteRace, run_baseline
+from repro.workloads.spec import PlantedRace
+
+
+ALL_NAMES = workloads.names()
+RACE_EVAL = workloads.race_eval_names()
+
+
+class TestRegistry:
+    def test_expected_workloads_registered(self):
+        for name in ("dryad", "dryad-stdlib", "concrt-messaging",
+                     "concrt-scheduling", "apache-1", "apache-2",
+                     "firefox-start", "firefox-render", "lkrhash",
+                     "lflist", "parsec-like", "synthetic"):
+            assert name in ALL_NAMES
+
+    def test_race_eval_set_matches_table4(self):
+        assert RACE_EVAL == ["dryad-stdlib", "dryad", "apache-1",
+                             "apache-2", "firefox-start", "firefox-render"]
+
+    def test_overhead_eval_has_ten_pairs(self):
+        assert len(workloads.overhead_eval_names()) == 10
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            workloads.build("nope")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            workloads.get("dryad").build(scale=0)
+
+    def test_duplicate_registration_rejected(self):
+        spec = workloads.get("dryad")
+        with pytest.raises(ValueError):
+            workloads.register(spec)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryWorkload:
+    def test_builds_and_validates(self, name):
+        program = workloads.build(name, seed=1, scale=0.05)
+        assert program.num_functions >= 2
+        assert program.static_size > 0
+
+    def test_runs_to_completion(self, name):
+        program = workloads.build(name, seed=1, scale=0.05)
+        result = run_baseline(program, seed=1)
+        assert result.steps > 0
+        assert result.threads_created >= 2
+
+    def test_planted_metadata_attached(self, name):
+        program = workloads.build(name, seed=1, scale=0.05)
+        for race in program.planted_races:
+            assert isinstance(race, PlantedRace)
+            assert race.keys
+
+
+@pytest.mark.parametrize("name", RACE_EVAL)
+class TestRaceEvalGroundTruth:
+    def test_full_logging_finds_exactly_the_planted_races(self, name):
+        """No unplanted races, no missing planted races (the workloads'
+        central design invariant)."""
+        program = workloads.build(name, seed=2, scale=0.15)
+        result = LiteRace(sampler="Full", seed=2).run(program)
+        planted = {k for p in program.planted_races for k in p.keys}
+        assert result.report.static_races == planted
+
+    def test_planted_total_matches_paper_table4(self, name):
+        program = workloads.build(name, seed=1, scale=0.05)
+        planted = {k for p in program.planted_races for k in p.keys}
+        paper = workloads.get(name).paper_races
+        assert len(planted) == paper.total
+
+    def test_rare_fraction_declared(self, name):
+        program = workloads.build(name, seed=1, scale=0.05)
+        rare = sum(len(p.keys) for p in program.planted_races
+                   if p.expect_rare)
+        paper = workloads.get(name).paper_races
+        assert rare == paper.rare
+
+    def test_seeds_change_interleaving_not_ground_truth(self, name):
+        a = workloads.build(name, seed=1, scale=0.05)
+        b = workloads.build(name, seed=2, scale=0.05)
+        keys_a = {k for p in a.planted_races for k in p.keys}
+        keys_b = {k for p in b.planted_races for k in p.keys}
+        assert keys_a == keys_b
+
+
+class TestCleanWorkloads:
+    """Benchmarks outside the race study must be race-free."""
+
+    @pytest.mark.parametrize("name", ["concrt-messaging",
+                                      "concrt-scheduling",
+                                      "lkrhash", "lflist"])
+    def test_no_races(self, name):
+        program = workloads.build(name, seed=3, scale=0.1)
+        result = LiteRace(sampler="Full", seed=3).run(program)
+        assert result.report.num_static == 0
+
+
+class TestScale:
+    def test_scale_shrinks_work(self):
+        # dryad's item count is quantized to its loop-nest factors, so
+        # compare scales far enough apart to cross a quantum.
+        small = run_baseline(workloads.build("dryad", seed=1, scale=0.05),
+                             seed=1)
+        large = run_baseline(workloads.build("dryad", seed=1, scale=1.0),
+                             seed=1)
+        assert large.memory_ops > 2 * small.memory_ops
