@@ -1,0 +1,23 @@
+# Developer/CI entry points.  Tier-1 (`make test`) is the PR gate; the
+# smoke target exercises the parallel engine path end to end and is also
+# wired into tier-1 via tests/test_cli_experiments_smoke.py.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke bench artifacts clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) -m repro.experiments all --scale 0.1 --jobs 2
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+artifacts:
+	$(PYTHON) -m repro.experiments all --scale 1.0
+
+clean-cache:
+	rm -rf $${REPRO_CACHE_DIR:-$$HOME/.cache/repro}

@@ -25,6 +25,20 @@ def _env_seeds():
     return tuple(int(s) for s in raw.split(",") if s)
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_artifact_cache(tmp_path_factory):
+    """Keep benchmark timings honest: never serve cells from a warm
+    persistent cache left by an earlier run (see tests/conftest.py)."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-artifact-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
     return _env_scale()

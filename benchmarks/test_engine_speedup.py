@@ -1,0 +1,62 @@
+"""Tier-2 timing smoke: the parallel engine path must not be slower.
+
+Skipped on single-core machines (there is nothing to win and process
+startup would make the assertion meaningless).  Records cells/sec for the
+BENCH trajectory via pytest-benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import engine
+
+pytestmark = pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup needs at least 2 cores",
+)
+
+SCALE = 0.25
+SEEDS = (1, 2)
+BENCHMARKS = ("apache-1", "apache-2", "firefox-start", "firefox-render")
+
+#: The parallel path may not be slower than serial beyond this slack
+#: (pool startup + pickling on small matrices).
+SLACK = 1.10
+
+
+def _timed_run(cells, jobs):
+    start = time.perf_counter()
+    results = engine.run_cells(cells, jobs=jobs, use_cache=False)
+    return time.perf_counter() - start, results
+
+
+def test_parallel_not_slower_than_serial(benchmark):
+    cells = engine.detection_cells(BENCHMARKS, SEEDS, SCALE)
+    jobs = os.cpu_count()
+
+    serial_s, serial_results = _timed_run(cells, jobs=1)
+
+    def parallel():
+        return _timed_run(cells, jobs=jobs)
+
+    parallel_s, parallel_results = benchmark.pedantic(
+        parallel, rounds=1, iterations=1)
+
+    assert parallel_results == serial_results  # same cells, same bytes
+    assert parallel_s <= serial_s * SLACK, (
+        f"parallel path ({parallel_s:.1f}s with {jobs} jobs) slower than "
+        f"serial ({serial_s:.1f}s)")
+
+    benchmark.extra_info["cells"] = len(cells)
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["serial_cells_per_s"] = round(
+        len(cells) / serial_s, 3)
+    benchmark.extra_info["parallel_cells_per_s"] = round(
+        len(cells) / parallel_s, 3)
+    benchmark.extra_info["speedup"] = round(serial_s / parallel_s, 2)

@@ -12,7 +12,10 @@ rate is the proportion of the full log's static races the subset recovers.
 :func:`run_detection_study` executes that methodology over a set of
 benchmarks and seeds (the paper instruments each application and runs it
 three times, reporting the average detection rate and the median race
-counts).
+counts).  One (benchmark, seed) execution is a *cell* —
+:func:`run_detection_cell` — returning a picklable :class:`RunDetection`,
+which is what lets :mod:`repro.experiments.engine` fan the study out
+across worker processes and cache each cell on disk.
 """
 
 from __future__ import annotations
@@ -31,7 +34,7 @@ from ..runtime.scheduler import RandomInterleaver
 from .. import workloads
 
 __all__ = ["SamplerOutcome", "RunDetection", "DetectionStudy",
-           "run_detection_study"]
+           "run_detection_cell", "run_detection_study"]
 
 
 @dataclass
@@ -145,6 +148,56 @@ def _detect(events) -> Set[RaceKey]:
     return detector.report.static_races
 
 
+def run_detection_cell(
+    benchmark: str,
+    seed: int,
+    scale: float = 1.0,
+    samplers: Sequence[str] = SAMPLER_ORDER,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    switch_prob: float = 0.05,
+) -> RunDetection:
+    """One §5.3 cell: a single marked execution with all samplers judged.
+
+    The returned :class:`RunDetection` is a plain picklable dataclass (sets
+    of PC-pair tuples, per-sampler counters), so cells can cross process
+    boundaries and be persisted by the artifact cache.
+    """
+    program = workloads.build(benchmark, seed=seed, scale=scale)
+    marked = run_marked(
+        program, list(samplers),
+        scheduler=RandomInterleaver(seed, switch_prob=switch_prob),
+        cost_model=cost_model, seed=seed,
+    )
+    full_detector = HappensBeforeDetector()
+    full_detector.feed_all(marked.log.events)
+    full_races = full_detector.report.static_races
+    rare, frequent = full_detector.report.classify(
+        marked.run.nonstack_memory_ops
+    )
+    outcomes: Dict[str, SamplerOutcome] = {}
+    for sampler in samplers:
+        bit = marked.harness.sampler_bit(sampler)
+        want = 1 << bit
+        detected = _detect(
+            event for event in marked.log.events
+            if isinstance(event, SyncEvent) or (event.mask & want)
+        )
+        outcomes[sampler] = SamplerOutcome(
+            detected=detected & full_races,
+            memory_logged=marked.log.memory_logged_by(bit),
+        )
+    return RunDetection(
+        benchmark=benchmark,
+        seed=seed,
+        memory_ops=marked.log.memory_count,
+        nonstack_memory_ops=marked.run.nonstack_memory_ops,
+        full_races=full_races,
+        rare=rare,
+        frequent=frequent,
+        samplers=outcomes,
+    )
+
+
 def run_detection_study(
     benchmarks: Sequence[str] = None,
     samplers: Sequence[str] = SAMPLER_ORDER,
@@ -153,44 +206,20 @@ def run_detection_study(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     switch_prob: float = 0.05,
 ) -> DetectionStudy:
-    """Execute the §5.3 methodology and return the collected study."""
+    """Execute the §5.3 methodology serially and return the collected study.
+
+    This is the single-process reference path; the experiment engine
+    (:mod:`repro.experiments.engine`) produces bit-identical studies by
+    running the same cells in parallel and merging them in this exact
+    (benchmark, seed) order.
+    """
     if benchmarks is None:
         benchmarks = workloads.race_eval_names()
     study = DetectionStudy(sampler_names=tuple(samplers))
     for name in benchmarks:
         for seed in seeds:
-            program = workloads.build(name, seed=seed, scale=scale)
-            marked = run_marked(
-                program, list(samplers),
-                scheduler=RandomInterleaver(seed, switch_prob=switch_prob),
-                cost_model=cost_model, seed=seed,
-            )
-            full_detector = HappensBeforeDetector()
-            full_detector.feed_all(marked.log.events)
-            full_races = full_detector.report.static_races
-            rare, frequent = full_detector.report.classify(
-                marked.run.nonstack_memory_ops
-            )
-            outcomes: Dict[str, SamplerOutcome] = {}
-            for sampler in samplers:
-                bit = marked.harness.sampler_bit(sampler)
-                want = 1 << bit
-                detected = _detect(
-                    event for event in marked.log.events
-                    if isinstance(event, SyncEvent) or (event.mask & want)
-                )
-                outcomes[sampler] = SamplerOutcome(
-                    detected=detected & full_races,
-                    memory_logged=marked.log.memory_logged_by(bit),
-                )
-            study.runs.append(RunDetection(
-                benchmark=name,
-                seed=seed,
-                memory_ops=marked.log.memory_count,
-                nonstack_memory_ops=marked.run.nonstack_memory_ops,
-                full_races=full_races,
-                rare=rare,
-                frequent=frequent,
-                samplers=outcomes,
+            study.runs.append(run_detection_cell(
+                name, seed, scale=scale, samplers=samplers,
+                cost_model=cost_model, switch_prob=switch_prob,
             ))
     return study

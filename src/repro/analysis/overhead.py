@@ -29,7 +29,8 @@ from ..runtime.executor import Executor
 from ..runtime.scheduler import RandomInterleaver
 from .. import workloads
 
-__all__ = ["OverheadRow", "run_overhead_study"]
+__all__ = ["OverheadRow", "OverheadSample", "run_overhead_cell",
+           "aggregate_overhead", "run_overhead_study"]
 
 
 @dataclass
@@ -57,6 +58,29 @@ class OverheadRow:
     paper_full: Optional[float]
 
 
+@dataclass
+class OverheadSample:
+    """Raw measurements of one (benchmark, seed) execution — one *cell*.
+
+    Everything here is a plain float keyed to the run's own baseline, so
+    samples are picklable (for the parallel engine and the artifact cache)
+    and aggregate by plain averaging in :func:`aggregate_overhead`.
+    """
+
+    benchmark: str
+    seed: int
+    baseline_seconds: float
+    dispatch_only_slowdown: float
+    sync_logging_slowdown: float
+    literace_slowdown: float
+    full_logging_slowdown: float
+    literace_mb_per_s: float
+    full_mb_per_s: float
+    frac_dispatch: float
+    frac_sync_log: float
+    frac_memory_log: float
+
+
 def _profiled_run(program, sampler_name: str, log_sync: bool,
                   cost_model: CostModel, seed: int):
     harness = ProfilingHarness(
@@ -77,64 +101,94 @@ def _mb_per_s(log_bytes: int, clock: int, cost_model: CostModel) -> float:
     return log_bytes / 1e6 / seconds if seconds > 0 else 0.0
 
 
+def run_overhead_cell(
+    benchmark: str,
+    seed: int,
+    scale: float = 1.0,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> OverheadSample:
+    """Measure all five §5.4 configurations of one (benchmark, seed)."""
+    program = workloads.build(benchmark, seed=seed, scale=scale)
+    base = run_baseline(program, seed=seed, cost_model=cost_model)
+    base_time = base.baseline_time
+
+    disp_run, _ = _profiled_run(program, "Never", False, cost_model, seed)
+    sync_run, _ = _profiled_run(program, "Never", True, cost_model, seed)
+    lite_run, lite_log = _profiled_run(program, "TL-Ad", True,
+                                       cost_model, seed)
+    full_run, full_log = _profiled_run(program, "Full", True,
+                                       cost_model, seed)
+
+    return OverheadSample(
+        benchmark=benchmark,
+        seed=seed,
+        baseline_seconds=base_time / cost_model.cycles_per_second,
+        dispatch_only_slowdown=disp_run.clock / base_time,
+        sync_logging_slowdown=sync_run.clock / base_time,
+        literace_slowdown=lite_run.clock / base_time,
+        full_logging_slowdown=full_run.clock / base_time,
+        literace_mb_per_s=_mb_per_s(encoded_size(lite_log),
+                                    lite_run.clock, cost_model),
+        full_mb_per_s=_mb_per_s(encoded_size(full_log),
+                                full_run.clock, cost_model),
+        frac_dispatch=lite_run.dispatch_cycles / base_time,
+        frac_sync_log=lite_run.sync_log_cycles / base_time,
+        frac_memory_log=lite_run.memory_log_cycles / base_time,
+    )
+
+
+def aggregate_overhead(samples: Sequence[OverheadSample],
+                       benchmarks: Sequence[str]) -> List[OverheadRow]:
+    """Average per-seed samples into the paper's per-benchmark rows.
+
+    ``benchmarks`` fixes the row order (samples may arrive in any order —
+    the parallel engine merges by cell key, not by completion).
+    """
+    by_benchmark: dict = {name: [] for name in benchmarks}
+    for sample in samples:
+        by_benchmark[sample.benchmark].append(sample)
+    rows: List[OverheadRow] = []
+    for name in benchmarks:
+        group = sorted(by_benchmark[name], key=lambda s: s.seed)
+        if not group:
+            raise ValueError(f"no overhead samples for benchmark {name!r}")
+        spec = workloads.get(name)
+        n = len(group)
+
+        def mean(attr: str) -> float:
+            return sum(getattr(s, attr) for s in group) / n
+
+        rows.append(OverheadRow(
+            benchmark=name,
+            title=spec.title,
+            baseline_seconds=mean("baseline_seconds"),
+            dispatch_only_slowdown=mean("dispatch_only_slowdown"),
+            sync_logging_slowdown=mean("sync_logging_slowdown"),
+            literace_slowdown=mean("literace_slowdown"),
+            full_logging_slowdown=mean("full_logging_slowdown"),
+            literace_mb_per_s=mean("literace_mb_per_s"),
+            full_mb_per_s=mean("full_mb_per_s"),
+            frac_dispatch=mean("frac_dispatch"),
+            frac_sync_log=mean("frac_sync_log"),
+            frac_memory_log=mean("frac_memory_log"),
+            paper_literace=spec.paper_literace_slowdown,
+            paper_full=spec.paper_full_slowdown,
+        ))
+    return rows
+
+
 def run_overhead_study(
     benchmarks: Sequence[str] = None,
     seeds: Iterable[int] = (1,),
     scale: float = 1.0,
     cost_model: CostModel = DEFAULT_COST_MODEL,
 ) -> List[OverheadRow]:
-    """Measure all five configurations for each benchmark."""
+    """Measure all five configurations for each benchmark (serially)."""
     if benchmarks is None:
         benchmarks = workloads.overhead_eval_names()
-    rows: List[OverheadRow] = []
-    for name in benchmarks:
-        spec = workloads.get(name)
-        acc = {key: 0.0 for key in (
-            "base_s", "disp", "sync", "lite", "full",
-            "lite_mbps", "full_mbps", "f_disp", "f_sync", "f_mem",
-        )}
-        n = 0
-        for seed in seeds:
-            program = spec.build(seed=seed, scale=scale)
-            base = run_baseline(program, seed=seed, cost_model=cost_model)
-            base_time = base.baseline_time
-
-            disp_run, _ = _profiled_run(program, "Never", False,
-                                        cost_model, seed)
-            sync_run, _ = _profiled_run(program, "Never", True,
-                                        cost_model, seed)
-            lite_run, lite_log = _profiled_run(program, "TL-Ad", True,
-                                               cost_model, seed)
-            full_run, full_log = _profiled_run(program, "Full", True,
-                                               cost_model, seed)
-
-            acc["base_s"] += base_time / cost_model.cycles_per_second
-            acc["disp"] += disp_run.clock / base_time
-            acc["sync"] += sync_run.clock / base_time
-            acc["lite"] += lite_run.clock / base_time
-            acc["full"] += full_run.clock / base_time
-            acc["lite_mbps"] += _mb_per_s(encoded_size(lite_log),
-                                          lite_run.clock, cost_model)
-            acc["full_mbps"] += _mb_per_s(encoded_size(full_log),
-                                          full_run.clock, cost_model)
-            acc["f_disp"] += lite_run.dispatch_cycles / base_time
-            acc["f_sync"] += lite_run.sync_log_cycles / base_time
-            acc["f_mem"] += lite_run.memory_log_cycles / base_time
-            n += 1
-        rows.append(OverheadRow(
-            benchmark=name,
-            title=spec.title,
-            baseline_seconds=acc["base_s"] / n,
-            dispatch_only_slowdown=acc["disp"] / n,
-            sync_logging_slowdown=acc["sync"] / n,
-            literace_slowdown=acc["lite"] / n,
-            full_logging_slowdown=acc["full"] / n,
-            literace_mb_per_s=acc["lite_mbps"] / n,
-            full_mb_per_s=acc["full_mbps"] / n,
-            frac_dispatch=acc["f_disp"] / n,
-            frac_sync_log=acc["f_sync"] / n,
-            frac_memory_log=acc["f_mem"] / n,
-            paper_literace=spec.paper_literace_slowdown,
-            paper_full=spec.paper_full_slowdown,
-        ))
-    return rows
+    samples = [
+        run_overhead_cell(name, seed, scale=scale, cost_model=cost_model)
+        for name in benchmarks
+        for seed in seeds
+    ]
+    return aggregate_overhead(samples, benchmarks)

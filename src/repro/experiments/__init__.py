@@ -2,13 +2,17 @@
 
 Run any experiment standalone::
 
-    python -m repro.experiments.table3 --scale 0.5
+    python -m repro.experiments.table3 --scale 0.5 --jobs 4
     python -m repro.experiments.figure4
     python -m repro.experiments.ablations
 
 or everything at once (regenerates the EXPERIMENTS.md numbers)::
 
-    python -m repro.experiments --scale 1.0
+    python -m repro.experiments all --scale 1.0 --jobs 8
+
+All commands accept ``--jobs N`` (parallel cell execution, default all
+cores) and ``--no-cache`` (bypass the persistent artifact cache); see
+docs/experiment_engine.md.
 """
 
 import importlib
@@ -29,10 +33,12 @@ EXPERIMENT_NAMES = (
 )
 
 
-def run_all(scale: float = 1.0, seeds=(1, 2, 3)) -> str:
+def run_all(scale: float = 1.0, seeds=(1, 2, 3), jobs=None,
+            use_cache=None) -> str:
     """Regenerate every table and figure; return the combined report."""
     sections = []
     for name in EXPERIMENT_NAMES:
         module = importlib.import_module(f"{__name__}.{name}")
-        sections.append(module.run(scale=scale, seeds=seeds))
+        sections.append(module.run(scale=scale, seeds=seeds, jobs=jobs,
+                                   use_cache=use_cache))
     return "\n\n\n".join(sections)

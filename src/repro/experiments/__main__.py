@@ -1,7 +1,53 @@
-"""``python -m repro.experiments``: regenerate every table and figure."""
+"""``python -m repro.experiments [all|<name>]``: regenerate artifacts.
 
-from .common import experiment_main
-from . import run_all
+Examples::
+
+    python -m repro.experiments all --scale 0.1 --jobs 2   # CI smoke target
+    python -m repro.experiments table3 --scale 0.5
+    python -m repro.experiments --scale 1.0                # same as "all"
+
+Cells (one per workload × seed execution) run across ``--jobs`` worker
+processes with per-cell progress on stderr; results come from the
+persistent artifact cache when available (``--no-cache`` bypasses it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from . import EXPERIMENT_NAMES, run_all
+from .common import (DEFAULT_SCALE, add_engine_arguments,
+                     configure_engine_from_args)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures")
+    parser.add_argument("which", nargs="?", default="all",
+                        choices=("all",) + EXPERIMENT_NAMES,
+                        help="artifact to regenerate (default: all)")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--seeds", type=str, default="1,2,3",
+                        help="comma-separated scheduler seeds")
+    add_engine_arguments(parser)
+    args = parser.parse_args(argv)
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s)
+    jobs, use_cache = configure_engine_from_args(args)
+
+    if args.which == "all":
+        out = run_all(scale=args.scale, seeds=seeds, jobs=jobs,
+                      use_cache=use_cache)
+    else:
+        module = importlib.import_module(f"repro.experiments.{args.which}")
+        out = module.run(scale=args.scale, seeds=seeds, jobs=jobs,
+                         use_cache=use_cache)
+    print(out)
+    return 0
+
 
 if __name__ == "__main__":
-    experiment_main(run_all, "Regenerate all tables and figures")
+    sys.exit(main())

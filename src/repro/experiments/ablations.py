@@ -288,7 +288,11 @@ def lockset_consumer(scale: float = 0.5, seeds: Iterable[int] = (1,)) -> str:
     )
 
 
-def run(scale: float = 1.0, seeds: Iterable[int] = (1, 2, 3)) -> str:
+def run(scale: float = 1.0, seeds: Iterable[int] = (1, 2, 3),
+        jobs: int = None, use_cache: bool = None) -> str:
+    # The ablations vary tool internals (cost constants, custom sampler
+    # objects, instrumentation passes), so they run outside the engine's
+    # cell cache; ``jobs``/``use_cache`` are accepted for CLI uniformity.
     seeds = tuple(seeds)
     parts = [
         atomic_timestamps(scale, seeds),

@@ -1,27 +1,35 @@
 """Shared infrastructure for the per-table/per-figure experiment modules.
 
-Each experiment module exposes ``run(scale, seeds) -> str`` returning the
-rendered artifact and is runnable as a script::
+Each experiment module exposes ``run(scale, seeds, ...) -> str`` returning
+the rendered artifact and is runnable as a script::
 
     python -m repro.experiments.table3 [--scale 0.5] [--seeds 1,2,3]
+                                       [--jobs 4] [--no-cache]
 
 The §5.3 detection study (one marked run per benchmark per seed) feeds
-Table 3, Table 4, Figure 4 and Figure 5; it is memoized here so a session
-regenerating several artifacts pays for it once.
+Table 3, Table 4, Figure 4 and Figure 5; the §5.4 overhead study feeds
+Table 5 and Figure 6.  Both are decomposed into cells and executed by
+:mod:`repro.experiments.engine` — in parallel across ``--jobs`` worker
+processes and backed by the persistent artifact cache — then additionally
+memoized in-process here, so a session regenerating several artifacts pays
+for each cell at most once (and a warm cache pays nothing at all).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import sys
 from typing import Dict, Iterable, Optional, Tuple
 
-from ..analysis.detection import DetectionStudy, run_detection_study
-from ..analysis.overhead import OverheadRow, run_overhead_study
+from ..analysis.detection import DetectionStudy
 from ..core.samplers import SAMPLER_ORDER
 from .. import workloads
+from . import engine
 
 __all__ = ["detection_study", "overhead_study", "experiment_main",
-           "DEFAULT_SEEDS", "DEFAULT_SCALE", "paper_note"]
+           "add_engine_arguments", "configure_engine_from_args",
+           "clear_memo", "DEFAULT_SEEDS", "DEFAULT_SCALE", "paper_note"]
 
 #: The paper runs each instrumented application three times (§5.3).
 DEFAULT_SEEDS: Tuple[int, ...] = (1, 2, 3)
@@ -35,35 +43,85 @@ _STUDY_CACHE: Dict[Tuple, DetectionStudy] = {}
 _OVERHEAD_CACHE: Dict[Tuple, list] = {}
 
 
+def clear_memo() -> None:
+    """Drop the in-process memo (not the on-disk cache).
+
+    Used by tests that need to prove the *persistent* cache serves a
+    regeneration, and by long-lived sessions that want fresh studies.
+    """
+    _STUDY_CACHE.clear()
+    _OVERHEAD_CACHE.clear()
+
+
 def detection_study(scale: float = DEFAULT_SCALE,
                     seeds: Iterable[int] = DEFAULT_SEEDS,
                     benchmarks: Optional[Tuple[str, ...]] = None,
-                    samplers: Tuple[str, ...] = SAMPLER_ORDER) -> DetectionStudy:
+                    samplers: Tuple[str, ...] = SAMPLER_ORDER,
+                    jobs: Optional[int] = None,
+                    use_cache: Optional[bool] = None) -> DetectionStudy:
     """The memoized §5.3 study shared by Tables 3-4 and Figures 4-5."""
+    # Normalize *before* keying: a generator passed as ``seeds`` must not
+    # be consumed by the key and empty by execution time.
+    seeds = tuple(seeds)
+    samplers = tuple(samplers)
     if benchmarks is None:
         benchmarks = tuple(workloads.race_eval_names())
-    key = (scale, tuple(seeds), benchmarks, samplers)
+    else:
+        benchmarks = tuple(benchmarks)
+    key = (scale, seeds, benchmarks, samplers)
     if key not in _STUDY_CACHE:
-        _STUDY_CACHE[key] = run_detection_study(
-            benchmarks=benchmarks, samplers=samplers,
-            seeds=tuple(seeds), scale=scale,
+        _STUDY_CACHE[key] = engine.parallel_detection_study(
+            scale=scale, seeds=seeds, benchmarks=benchmarks,
+            samplers=samplers, jobs=jobs, use_cache=use_cache,
         )
     return _STUDY_CACHE[key]
 
 
 def overhead_study(scale: float = DEFAULT_SCALE,
-                   seeds: Iterable[int] = (1,)) -> "list[OverheadRow]":
+                   seeds: Iterable[int] = (1,),
+                   benchmarks: Optional[Tuple[str, ...]] = None,
+                   jobs: Optional[int] = None,
+                   use_cache: Optional[bool] = None) -> "list":
     """The memoized §5.4 study shared by Table 5 and Figure 6."""
-    key = (scale, tuple(seeds))
+    seeds = tuple(seeds)
+    if benchmarks is None:
+        benchmarks = tuple(workloads.overhead_eval_names())
+    else:
+        benchmarks = tuple(benchmarks)
+    key = (scale, seeds, benchmarks)
     if key not in _OVERHEAD_CACHE:
-        _OVERHEAD_CACHE[key] = run_overhead_study(seeds=tuple(seeds),
-                                                  scale=scale)
+        _OVERHEAD_CACHE[key] = engine.parallel_overhead_rows(
+            scale=scale, seeds=seeds, benchmarks=benchmarks,
+            jobs=jobs, use_cache=use_cache,
+        )
     return _OVERHEAD_CACHE[key]
 
 
 def paper_note(text: str) -> str:
     """Format the paper-reference footnote attached to each artifact."""
     return f"\n[paper] {text}"
+
+
+def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The engine's shared command-line surface (also used by ``all``)."""
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent cells "
+                             "(default: all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent artifact cache "
+                             "(see docs/experiment_engine.md)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress output")
+
+
+def configure_engine_from_args(args: argparse.Namespace) -> Tuple[int, bool]:
+    """Apply CLI flags to the engine; return (jobs, use_cache)."""
+    jobs = args.jobs if args.jobs and args.jobs > 0 else (os.cpu_count() or 1)
+    use_cache = not args.no_cache
+    progress = None if args.quiet else \
+        (lambda message: print(message, file=sys.stderr, flush=True))
+    engine.configure(jobs=jobs, use_cache=use_cache, progress=progress)
+    return jobs, use_cache
 
 
 def experiment_main(run_fn, description: str) -> None:
@@ -73,6 +131,9 @@ def experiment_main(run_fn, description: str) -> None:
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--seeds", type=str, default="1,2,3",
                         help="comma-separated scheduler seeds")
+    add_engine_arguments(parser)
     args = parser.parse_args()
     seeds = tuple(int(s) for s in args.seeds.split(",") if s)
-    print(run_fn(scale=args.scale, seeds=seeds))
+    jobs, use_cache = configure_engine_from_args(args)
+    print(run_fn(scale=args.scale, seeds=seeds, jobs=jobs,
+                 use_cache=use_cache))

@@ -1,0 +1,429 @@
+"""Cell-granular parallel experiment engine with a persistent artifact cache.
+
+Every paper artifact is assembled from independent *cells*: one
+(workload, seed) execution whose result is a small picklable dataclass.
+Because the scheduler invariant guarantees "same seed ⇒ identical
+interleaving, logs, and race reports" (DESIGN.md §6), a cell's result is a
+pure function of its parameters — which makes the experiment matrix both
+embarrassingly parallel and perfectly cacheable.  This module supplies
+both halves:
+
+* :func:`run_cells` fans cells out across a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs`` workers) and
+  merges results deterministically by cell key, so rendered artifacts are
+  byte-identical regardless of worker count, submission order, or
+  completion order;
+* a persistent on-disk cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``)
+  keyed by a content hash of (cache schema + package version + cost-model
+  constants + cell parameters), written atomically (temp file + rename,
+  the same pattern as :mod:`repro.eventlog.store`) so concurrent writers
+  never produce a torn entry and cache files survive across processes and
+  CI runs.
+
+Cell kinds
+----------
+``detection``
+    One §5.3 marked run (:func:`repro.analysis.detection.run_detection_cell`)
+    → :class:`~repro.analysis.detection.RunDetection`.
+``overhead``
+    One §5.4 five-configuration measurement
+    (:func:`repro.analysis.overhead.run_overhead_cell`)
+    → :class:`~repro.analysis.overhead.OverheadSample`.
+``inventory``
+    One Table 2 row measurement (instrument + baseline run)
+    → :class:`~repro.experiments.table2.InventoryRow`.
+``sync-probe``
+    The Table 1 probe run → ``{SyncKind: syncvar domain}``.
+
+The module also keeps a *run counter*: every cell that is actually
+executed (anywhere — inline or in a worker) increments it, while cache
+hits do not.  Tests use it to prove that warm-cache regeneration performs
+zero workload executions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .. import __version__
+from ..analysis.detection import DetectionStudy, run_detection_cell
+from ..analysis.overhead import (OverheadRow, aggregate_overhead,
+                                 run_overhead_cell)
+from ..core.samplers import SAMPLER_ORDER
+from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
+
+__all__ = [
+    "Cell",
+    "EngineStats",
+    "cache_dir",
+    "cell_fingerprint",
+    "configure",
+    "detection_cells",
+    "execution_count",
+    "inventory_cells",
+    "overhead_cells",
+    "parallel_detection_study",
+    "parallel_overhead_rows",
+    "reset_execution_count",
+    "run_cells",
+    "sync_probe_cell",
+]
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: Bumped whenever the *meaning* of a cached result changes (detector or
+#: runtime semantics) without a package-version bump; invalidates every
+#: existing entry at once.
+CACHE_SCHEMA = 1
+
+_CELL_KINDS = ("detection", "overhead", "inventory", "sync-probe")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent, picklable unit of experiment work.
+
+    Frozen (hashable) so it can key result dictionaries; every field takes
+    part in the cache fingerprint.  ``samplers``/``switch_prob`` are only
+    meaningful for ``detection`` cells and stay at their empty defaults
+    elsewhere, keeping the key canonical.
+    """
+
+    kind: str
+    benchmark: str = ""
+    seed: int = 0
+    scale: float = 1.0
+    samplers: Tuple[str, ...] = ()
+    switch_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CELL_KINDS:
+            raise ValueError(f"unknown cell kind {self.kind!r}; "
+                             f"known: {_CELL_KINDS}")
+
+    def sort_key(self) -> Tuple:
+        """The canonical merge order — intrinsic, not submission order."""
+        return (self.kind, self.benchmark, self.seed, self.scale,
+                self.samplers, self.switch_prob)
+
+    def label(self) -> str:
+        """Short human-readable form for progress output."""
+        parts = [self.kind]
+        if self.benchmark:
+            parts.append(self.benchmark)
+        parts.append(f"seed={self.seed}")
+        if self.kind != "sync-probe":
+            parts.append(f"scale={self.scale}")
+        return " ".join(parts)
+
+
+@dataclass
+class EngineStats:
+    """What one :func:`run_cells` call did (for tests and progress)."""
+
+    total: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+
+
+# -- engine configuration ---------------------------------------------------
+
+#: Library defaults: serial, cache on, quiet.  ``experiment_main`` and the
+#: ``repro.experiments`` CLI override these for command-line runs.
+_CONFIG: Dict[str, object] = {
+    "jobs": 1,
+    "use_cache": True,
+    "cache_dir": None,
+    "progress": None,
+}
+
+_EXECUTIONS = 0
+_MISS = object()
+
+
+def configure(**overrides) -> Dict[str, object]:
+    """Set engine defaults (``jobs``, ``use_cache``, ``cache_dir``,
+    ``progress``); return the previous settings so callers can restore.
+
+    Explicit keyword arguments to :func:`run_cells` and the study helpers
+    always win over these defaults.
+    """
+    unknown = set(overrides) - set(_CONFIG)
+    if unknown:
+        raise TypeError(f"unknown engine options: {sorted(unknown)}")
+    previous = dict(_CONFIG)
+    _CONFIG.update(overrides)
+    return previous
+
+
+def execution_count() -> int:
+    """Cells actually executed (not served from cache) since last reset."""
+    return _EXECUTIONS
+
+
+def reset_execution_count() -> int:
+    """Zero the run counter; return the value it had."""
+    global _EXECUTIONS
+    previous, _EXECUTIONS = _EXECUTIONS, 0
+    return previous
+
+
+# -- the persistent artifact cache ------------------------------------------
+
+def cache_dir() -> str:
+    """Resolve the cache directory: configure() > $REPRO_CACHE_DIR > HOME."""
+    configured = _CONFIG["cache_dir"]
+    if configured:
+        return os.fspath(configured)
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def cell_fingerprint(cell: Cell,
+                     cost_model: CostModel = DEFAULT_COST_MODEL) -> str:
+    """Content hash identifying one cell's result.
+
+    Covers everything a cell's output depends on: the cache schema, the
+    package version, every cost-model constant, and all cell parameters.
+    Two processes (or two CI runs) computing the same cell therefore agree
+    on the key, and any relevant change — a different scale, seed, sampler
+    set, or a retuned cost constant — misses cleanly.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "version": __version__,
+        "cost_model": dataclasses.asdict(cost_model),
+        "kind": cell.kind,
+        "benchmark": cell.benchmark,
+        "seed": cell.seed,
+        "scale": cell.scale,
+        "samplers": list(cell.samplers),
+        "switch_prob": cell.switch_prob,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _cache_path(cell: Cell, cost_model: CostModel, directory: str) -> str:
+    return os.path.join(directory,
+                        f"{cell_fingerprint(cell, cost_model)}.pkl")
+
+
+def _load_result(path: str):
+    """Read a cached result; any failure (missing, torn, stale pickle,
+    unreadable) is a plain miss — the cache is advisory, never load-bearing.
+    """
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except Exception:
+        return _MISS
+
+
+def _store_result(path: str, result) -> None:
+    """Atomically persist ``result`` (temp file + rename, as in
+    ``eventlog.store``): concurrent writers race benignly — the rename is
+    atomic, so readers always see a complete entry, never a torn one.
+    """
+    directory = os.path.dirname(path)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass  # unwritable cache degrades to recompute-every-time
+
+
+# -- cell execution ---------------------------------------------------------
+
+def _compute_cell(cell: Cell, cost_model: CostModel):
+    """Execute one cell.  Top-level (picklable) so worker processes can run
+    it; imports of experiment modules are lazy to avoid import cycles
+    (``common`` imports this module, the table modules import ``common``).
+    """
+    if cell.kind == "detection":
+        return run_detection_cell(
+            cell.benchmark, cell.seed, scale=cell.scale,
+            samplers=cell.samplers, cost_model=cost_model,
+            switch_prob=cell.switch_prob,
+        )
+    if cell.kind == "overhead":
+        return run_overhead_cell(
+            cell.benchmark, cell.seed, scale=cell.scale,
+            cost_model=cost_model,
+        )
+    if cell.kind == "inventory":
+        from .table2 import inventory_row
+        return inventory_row(cell.benchmark, cell.seed, scale=cell.scale)
+    if cell.kind == "sync-probe":
+        from .table1 import probe_observed
+        return probe_observed(cell.seed)
+    raise ValueError(f"unknown cell kind {cell.kind!r}")
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    stats: Optional[EngineStats] = None,
+) -> "Dict[Cell, object]":
+    """Execute ``cells`` and return ``{cell: result}``.
+
+    The returned mapping iterates in canonical :meth:`Cell.sort_key` order
+    and its contents depend only on the cell parameters — never on
+    ``jobs``, submission order, or worker completion order.  ``jobs=None``
+    and ``use_cache=None`` fall back to :func:`configure` defaults.
+    """
+    global _EXECUTIONS
+    jobs = int(_CONFIG["jobs"] if jobs is None else jobs)
+    use_cache = bool(_CONFIG["use_cache"] if use_cache is None else use_cache)
+    progress = _CONFIG["progress"] if progress is None else progress
+    if stats is None:
+        stats = EngineStats()
+
+    unique: List[Cell] = list(dict.fromkeys(cells))
+    stats.total = len(unique)
+    directory = cache_dir() if use_cache else None
+    results: Dict[Cell, object] = {}
+    done = 0
+
+    def note(cell: Cell, how: str) -> None:
+        if progress is not None:
+            progress(f"[cell {done}/{stats.total}] {cell.label()} — {how}")
+
+    pending: List[Cell] = []
+    for cell in unique:
+        cached = _MISS
+        if use_cache:
+            cached = _load_result(_cache_path(cell, cost_model, directory))
+        if cached is _MISS:
+            pending.append(cell)
+        else:
+            results[cell] = cached
+            stats.cache_hits += 1
+            done += 1
+            note(cell, "cached")
+
+    def record(cell: Cell, result) -> None:
+        nonlocal done
+        global _EXECUTIONS
+        results[cell] = result
+        _EXECUTIONS += 1
+        stats.computed += 1
+        done += 1
+        if use_cache:
+            _store_result(_cache_path(cell, cost_model, directory), result)
+        note(cell, "computed")
+
+    if len(pending) > 1 and jobs > 1:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_compute_cell, cell, cost_model): cell
+                       for cell in pending}
+            for future in as_completed(futures):
+                record(futures[future], future.result())
+    else:
+        for cell in pending:
+            record(cell, _compute_cell(cell, cost_model))
+
+    return {cell: results[cell]
+            for cell in sorted(unique, key=Cell.sort_key)}
+
+
+# -- cell constructors and study assembly -----------------------------------
+
+def detection_cells(benchmarks: Sequence[str], seeds: Iterable[int],
+                    scale: float, samplers: Sequence[str] = SAMPLER_ORDER,
+                    switch_prob: float = 0.05) -> List[Cell]:
+    """The §5.3 matrix in canonical (benchmark, seed) order."""
+    return [
+        Cell(kind="detection", benchmark=name, seed=seed, scale=scale,
+             samplers=tuple(samplers), switch_prob=switch_prob)
+        for name in benchmarks
+        for seed in seeds
+    ]
+
+
+def overhead_cells(benchmarks: Sequence[str], seeds: Iterable[int],
+                   scale: float) -> List[Cell]:
+    """The §5.4 matrix in canonical (benchmark, seed) order."""
+    return [
+        Cell(kind="overhead", benchmark=name, seed=seed, scale=scale)
+        for name in benchmarks
+        for seed in seeds
+    ]
+
+
+def inventory_cells(benchmarks: Sequence[str], seed: int,
+                    scale: float) -> List[Cell]:
+    """Table 2's per-workload measurement cells."""
+    return [
+        Cell(kind="inventory", benchmark=name, seed=seed, scale=scale)
+        for name in benchmarks
+    ]
+
+
+def sync_probe_cell(seed: int) -> Cell:
+    """Table 1's probe-run cell."""
+    return Cell(kind="sync-probe", seed=seed)
+
+
+def parallel_detection_study(
+    scale: float,
+    seeds: Sequence[int],
+    benchmarks: Sequence[str],
+    samplers: Sequence[str] = SAMPLER_ORDER,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    switch_prob: float = 0.05,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> DetectionStudy:
+    """The §5.3 study via the engine: parallel, cached, bit-identical to
+    :func:`repro.analysis.detection.run_detection_study`.
+    """
+    cells = detection_cells(benchmarks, seeds, scale, samplers, switch_prob)
+    results = run_cells(cells, cost_model=cost_model, jobs=jobs,
+                        use_cache=use_cache)
+    study = DetectionStudy(sampler_names=tuple(samplers))
+    # Assemble in the serial path's nested-loop order, independent of the
+    # (sorted) order run_cells returns.
+    study.runs.extend(results[cell] for cell in cells)
+    return study
+
+
+def parallel_overhead_rows(
+    scale: float,
+    seeds: Sequence[int],
+    benchmarks: Sequence[str],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> List[OverheadRow]:
+    """The §5.4 study via the engine, merged in benchmark order."""
+    cells = overhead_cells(benchmarks, seeds, scale)
+    results = run_cells(cells, cost_model=cost_model, jobs=jobs,
+                        use_cache=use_cache)
+    samples = [results[cell] for cell in cells]
+    return aggregate_overhead(samples, benchmarks)

@@ -13,7 +13,7 @@ cold-region hypothesis.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Tuple
 
 from ..analysis.tables import format_percent, format_table
 from ..core.samplers import SAMPLER_ORDER
@@ -30,8 +30,12 @@ _PAPER_AVERAGE = {
 
 
 def run(scale: float = DEFAULT_SCALE,
-        seeds: Iterable[int] = DEFAULT_SEEDS) -> str:
-    study = detection_study(scale=scale, seeds=seeds)
+        seeds: Iterable[int] = DEFAULT_SEEDS,
+        benchmarks: Optional[Tuple[str, ...]] = None,
+        jobs: Optional[int] = None,
+        use_cache: Optional[bool] = None) -> str:
+    study = detection_study(scale=scale, seeds=seeds, benchmarks=benchmarks,
+                            jobs=jobs, use_cache=use_cache)
     headers = ["Benchmark"] + list(SAMPLER_ORDER)
     rows: List[List[str]] = []
     for name in study.benchmarks():

@@ -9,7 +9,7 @@ the clear winners and random samplers find almost none.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Tuple
 
 from ..analysis.tables import format_percent, format_table
 from ..core.samplers import SAMPLER_ORDER
@@ -36,8 +36,12 @@ def _panel(study, which: str, title: str) -> str:
 
 
 def run(scale: float = DEFAULT_SCALE,
-        seeds: Iterable[int] = DEFAULT_SEEDS) -> str:
-    study = detection_study(scale=scale, seeds=seeds)
+        seeds: Iterable[int] = DEFAULT_SEEDS,
+        benchmarks: Optional[Tuple[str, ...]] = None,
+        jobs: Optional[int] = None,
+        use_cache: Optional[bool] = None) -> str:
+    study = detection_study(scale=scale, seeds=seeds, benchmarks=benchmarks,
+                            jobs=jobs, use_cache=use_cache)
     left = _panel(study, "rare",
                   "Figure 5 (left): rare data-race detection rate")
     right = _panel(study, "frequent",

@@ -10,7 +10,7 @@ applications stay near the baseline.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from ..analysis.tables import format_table
 from .common import DEFAULT_SCALE, experiment_main, overhead_study, \
@@ -28,8 +28,10 @@ def _stacked_bar(fracs: List[float], total_scale: float) -> str:
     return chars
 
 
-def run(scale: float = DEFAULT_SCALE, seeds: Iterable[int] = (1,)) -> str:
-    rows_data = overhead_study(scale=scale, seeds=tuple(seeds))
+def run(scale: float = DEFAULT_SCALE, seeds: Iterable[int] = (1,),
+        jobs: Optional[int] = None, use_cache: Optional[bool] = None) -> str:
+    rows_data = overhead_study(scale=scale, seeds=tuple(seeds),
+                               jobs=jobs, use_cache=use_cache)
     peak = max(r.literace_slowdown for r in rows_data)
     rows = []
     lines = []

@@ -15,13 +15,16 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from typing import Optional
+
 from ..analysis.tables import format_table
 from ..core.literace import LiteRace
 from ..eventlog.events import SyncEvent, SyncKind
-from ..tir.builder import ProgramBuilder
+from . import engine
 from .common import experiment_main, paper_note
+from ..tir.builder import ProgramBuilder
 
-__all__ = ["run", "SYNCVAR_TABLE"]
+__all__ = ["run", "probe_observed", "SYNCVAR_TABLE"]
 
 #: (paper row, our sync kinds, SyncVar domain, needs extra sync?)
 SYNCVAR_TABLE = (
@@ -61,13 +64,25 @@ def _probe_program():
     return b.build(entry="main")
 
 
-def run(scale: float = 1.0, seeds: Iterable[int] = (1,)) -> str:
-    _, log = LiteRace(sampler="Full",
-                      seed=next(iter(seeds))).profile(_probe_program())
+def probe_observed(seed: int) -> dict:
+    """Run the probe; map each observed SyncKind to its SyncVar domain.
+
+    This is the ``sync-probe`` cell body: the returned ``{SyncKind: str}``
+    dict is picklable, so the engine can execute it in a worker and keep
+    it in the artifact cache.
+    """
+    _, log = LiteRace(sampler="Full", seed=seed).profile(_probe_program())
     observed = {}
     for event in log.events:
         if isinstance(event, SyncEvent):
             observed.setdefault(event.kind, event.var[0])
+    return observed
+
+
+def run(scale: float = 1.0, seeds: Iterable[int] = (1,),
+        jobs: Optional[int] = None, use_cache: Optional[bool] = None) -> str:
+    cell = engine.sync_probe_cell(seed=next(iter(seeds)))
+    observed = engine.run_cells([cell], jobs=jobs, use_cache=use_cache)[cell]
 
     rows = []
     for label, kinds, syncvar, extra in SYNCVAR_TABLE:

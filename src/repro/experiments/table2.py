@@ -13,15 +13,17 @@ Dryad+stdlib substantially more than Dryad alone.
 
 from __future__ import annotations
 
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from ..core.instrument import instrument
 from ..core.literace import run_baseline
 from ..analysis.tables import format_table
 from .. import workloads
+from . import engine
 from .common import DEFAULT_SCALE, experiment_main, paper_note
 
-__all__ = ["run"]
+__all__ = ["run", "InventoryRow", "inventory_row"]
 
 _PAPER_ROWS = {
     "dryad": ("Dryad", 4788, "2.7 MB"),
@@ -35,22 +37,52 @@ _PAPER_ROWS = {
 }
 
 
-def run(scale: float = DEFAULT_SCALE, seeds: Iterable[int] = (1,)) -> str:
+@dataclass
+class InventoryRow:
+    """One workload's measured Table 2 numbers (the ``inventory`` cell)."""
+
+    benchmark: str
+    num_functions: int
+    static_size: int
+    rewritten_static_size: int
+    threads_created: int
+    memory_ops: int
+
+
+def inventory_row(benchmark: str, seed: int,
+                  scale: float = DEFAULT_SCALE) -> InventoryRow:
+    """Instrument + one baseline run of one workload — picklable."""
+    program = workloads.build(benchmark, seed=seed, scale=scale)
+    rewritten = instrument(program)
+    base = run_baseline(program, seed=seed)
+    return InventoryRow(
+        benchmark=benchmark,
+        num_functions=program.num_functions,
+        static_size=program.static_size,
+        rewritten_static_size=rewritten.rewritten_static_size,
+        threads_created=base.threads_created,
+        memory_ops=base.memory_ops,
+    )
+
+
+def run(scale: float = DEFAULT_SCALE, seeds: Iterable[int] = (1,),
+        jobs: Optional[int] = None, use_cache: Optional[bool] = None) -> str:
     seed = next(iter(seeds))
+    benchmarks = tuple(workloads.overhead_eval_names())
+    cells = engine.inventory_cells(benchmarks, seed=seed, scale=scale)
+    results = engine.run_cells(cells, jobs=jobs, use_cache=use_cache)
     rows = []
-    for name in workloads.overhead_eval_names():
+    for name, cell in zip(benchmarks, cells):
         spec = workloads.get(name)
-        program = spec.build(seed=seed, scale=scale)
-        rewritten = instrument(program)
-        base = run_baseline(program, seed=seed)
+        measured = results[cell]
         paper = _PAPER_ROWS.get(name)
         rows.append([
             spec.title,
-            program.num_functions,
-            program.static_size,
-            rewritten.rewritten_static_size,
-            base.threads_created,
-            f"{base.memory_ops:,}",
+            measured.num_functions,
+            measured.static_size,
+            measured.rewritten_static_size,
+            measured.threads_created,
+            f"{measured.memory_ops:,}",
             f"{paper[1]:,}" if paper else "-",
             paper[2] if paper else "-",
         ])

@@ -12,7 +12,7 @@ G-Ad 1.3% / 2.9%, G-Fx 10.0% / 10.3%, Rnd10 9.9% / 9.6%, Rnd25 24.8% /
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional, Tuple
 
 from ..analysis.tables import format_percent, format_table
 from ..core.samplers import SAMPLER_ORDER, make_sampler
@@ -33,8 +33,12 @@ _PAPER_ESR = {
 
 
 def run(scale: float = DEFAULT_SCALE,
-        seeds: Iterable[int] = DEFAULT_SEEDS) -> str:
-    study = detection_study(scale=scale, seeds=seeds)
+        seeds: Iterable[int] = DEFAULT_SEEDS,
+        benchmarks: Optional[Tuple[str, ...]] = None,
+        jobs: Optional[int] = None,
+        use_cache: Optional[bool] = None) -> str:
+    study = detection_study(scale=scale, seeds=seeds, benchmarks=benchmarks,
+                            jobs=jobs, use_cache=use_cache)
     rows = []
     for name in SAMPLER_ORDER:
         sampler = make_sampler(name)

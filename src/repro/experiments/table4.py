@@ -9,7 +9,7 @@ memory instructions, else *frequent*.  Counts are medians over the seeds
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional, Tuple
 
 from ..analysis.tables import format_table
 from .. import workloads
@@ -20,8 +20,12 @@ __all__ = ["run"]
 
 
 def run(scale: float = DEFAULT_SCALE,
-        seeds: Iterable[int] = DEFAULT_SEEDS) -> str:
-    study = detection_study(scale=scale, seeds=seeds)
+        seeds: Iterable[int] = DEFAULT_SEEDS,
+        benchmarks: Optional[Tuple[str, ...]] = None,
+        jobs: Optional[int] = None,
+        use_cache: Optional[bool] = None) -> str:
+    study = detection_study(scale=scale, seeds=seeds, benchmarks=benchmarks,
+                            jobs=jobs, use_cache=use_cache)
     rows = []
     for name in study.benchmarks():
         spec = workloads.get(name)

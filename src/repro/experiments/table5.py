@@ -11,7 +11,7 @@ Paper headline: averaged over the realistic benchmarks LiteRace costs ~28%
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from ..analysis.tables import format_slowdown, format_table
 from .common import DEFAULT_SCALE, experiment_main, overhead_study, \
@@ -20,8 +20,10 @@ from .common import DEFAULT_SCALE, experiment_main, overhead_study, \
 __all__ = ["run"]
 
 
-def run(scale: float = DEFAULT_SCALE, seeds: Iterable[int] = (1,)) -> str:
-    rows_data = overhead_study(scale=scale, seeds=tuple(seeds))
+def run(scale: float = DEFAULT_SCALE, seeds: Iterable[int] = (1,),
+        jobs: Optional[int] = None, use_cache: Optional[bool] = None) -> str:
+    rows_data = overhead_study(scale=scale, seeds=tuple(seeds),
+                               jobs=jobs, use_cache=use_cache)
     rows: List[List[str]] = []
     micro = {"lkrhash", "lflist"}
 

@@ -2,12 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.literace import LiteRace, run_baseline
 from repro.runtime.scheduler import RandomInterleaver
 from repro.tir.builder import ProgramBuilder
 from repro.workloads.synthetic import two_thread_racer
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the experiment engine's persistent cache at a session tmpdir.
+
+    Tests must never read entries a *previous* checkout wrote to the real
+    ``~/.cache/repro`` (a code change there would go unnoticed), and must
+    never pollute it either.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-artifact-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -1,0 +1,160 @@
+"""The persistent artifact cache: keying, corruption, bypass, atomicity."""
+
+from __future__ import annotations
+
+import glob
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.experiments import engine
+from repro.runtime.cost import DEFAULT_COST_MODEL
+
+#: A deliberately tiny cell so each (re)compute costs milliseconds.
+CELL = engine.Cell(kind="detection", benchmark="firefox-start", seed=1,
+                   scale=0.02, samplers=("TL-Ad", "Full"), switch_prob=0.05)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    previous = engine.configure(cache_dir=str(tmp_path))
+    yield str(tmp_path)
+    engine.configure(**previous)
+
+
+def _cache_files(directory):
+    return sorted(glob.glob(os.path.join(directory, "*.pkl")))
+
+
+class TestCacheKey:
+    def test_stable_for_identical_parameters(self):
+        assert engine.cell_fingerprint(CELL) == engine.cell_fingerprint(CELL)
+
+    @pytest.mark.parametrize("changed", [
+        dict(scale=0.03),
+        dict(seed=2),
+        dict(samplers=("TL-Ad",)),
+        dict(samplers=("TL-Fx", "Full")),
+        dict(benchmark="apache-1"),
+        dict(switch_prob=0.1),
+        dict(kind="overhead", samplers=(), switch_prob=0.0),
+    ])
+    def test_changes_with_cell_parameters(self, changed):
+        import dataclasses
+        other = dataclasses.replace(CELL, **changed)
+        assert engine.cell_fingerprint(other) != engine.cell_fingerprint(CELL)
+
+    def test_changes_with_cost_model_constants(self):
+        retuned = DEFAULT_COST_MODEL.with_overrides(log_memory=113)
+        assert engine.cell_fingerprint(CELL, retuned) \
+            != engine.cell_fingerprint(CELL, DEFAULT_COST_MODEL)
+
+    def test_sampler_order_is_significant(self):
+        import dataclasses
+        swapped = dataclasses.replace(CELL, samplers=("Full", "TL-Ad"))
+        assert engine.cell_fingerprint(swapped) \
+            != engine.cell_fingerprint(CELL)
+
+
+class TestHitMissBehavior:
+    def test_second_run_is_a_hit(self, cache):
+        stats = engine.EngineStats()
+        first = engine.run_cells([CELL], stats=stats)
+        assert (stats.computed, stats.cache_hits) == (1, 0)
+
+        stats = engine.EngineStats()
+        second = engine.run_cells([CELL], stats=stats)
+        assert (stats.computed, stats.cache_hits) == (0, 1)
+        assert second == first
+
+    def test_duplicate_cells_computed_once(self, cache):
+        stats = engine.EngineStats()
+        engine.run_cells([CELL, CELL, CELL], use_cache=False, stats=stats)
+        assert stats.total == 1
+        assert stats.computed == 1
+
+    def test_no_cache_bypasses_reads_and_writes(self, cache):
+        engine.run_cells([CELL])  # populate
+        assert len(_cache_files(cache)) == 1
+
+        stats = engine.EngineStats()
+        engine.run_cells([CELL], use_cache=False, stats=stats)
+        assert stats.computed == 1  # recomputed despite the valid entry
+        assert len(_cache_files(cache)) == 1  # and nothing new written
+
+
+class TestCorruptEntries:
+    @pytest.mark.parametrize("corruption", [
+        b"",                       # truncated to nothing
+        b"not a pickle at all",    # garbage bytes
+        pickle.dumps(object)[:5],  # torn pickle
+    ])
+    def test_corrupt_file_falls_back_to_recompute(self, cache, corruption):
+        reference = engine.run_cells([CELL])[CELL]
+        path, = _cache_files(cache)
+        with open(path, "wb") as handle:
+            handle.write(corruption)
+
+        stats = engine.EngineStats()
+        result = engine.run_cells([CELL], stats=stats)[CELL]
+        assert stats.computed == 1  # the corrupt entry was not trusted
+        assert result == reference
+
+        # ... and the entry was healed for the next reader.
+        stats = engine.EngineStats()
+        engine.run_cells([CELL], stats=stats)
+        assert stats.cache_hits == 1
+
+    def test_unreadable_cache_dir_degrades_gracefully(self, tmp_path):
+        previous = engine.configure(
+            cache_dir=str(tmp_path / "file-in-the-way"))
+        try:
+            # A *file* where the cache dir should be: writes fail, reads
+            # miss, results still come back.
+            (tmp_path / "file-in-the-way").write_text("occupied")
+            result = engine.run_cells([CELL])[CELL]
+            assert result.benchmark == "firefox-start"
+        finally:
+            engine.configure(**previous)
+
+
+class TestAtomicWrites:
+    def test_concurrent_writers_never_tear(self, cache):
+        result = engine.run_cells([CELL], use_cache=False)[CELL]
+        path = os.path.join(cache,
+                            engine.cell_fingerprint(CELL) + ".pkl")
+
+        barrier = threading.Barrier(8)
+
+        def write():
+            barrier.wait()
+            for _ in range(25):
+                engine._store_result(path, result)
+
+        threads = [threading.Thread(target=write) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Whatever interleaving happened, the entry is complete and valid.
+        stats = engine.EngineStats()
+        assert engine.run_cells([CELL], stats=stats)[CELL] == result
+        assert stats.cache_hits == 1
+        # No temp-file litter left behind.
+        assert glob.glob(os.path.join(cache, "*.tmp")) == []
+
+    def test_write_goes_through_rename(self, cache, monkeypatch):
+        replaced = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            replaced.append((src, dst))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        engine.run_cells([CELL])
+        assert any(dst.endswith(".pkl") for _, dst in replaced), \
+            "cache writes must use the temp-file + rename pattern"

@@ -19,6 +19,21 @@ class TestStudyCache:
                             samplers=("TL-Ad", "Full"))
         assert a is not b
 
+    def test_generator_seeds_not_consumed_by_memo_key(self):
+        # Regression: ``seeds`` used to reach the memo key via ``tuple()``
+        # but the *study* via the original iterable — a generator was
+        # exhausted by keying and the study silently ran zero cells.
+        a = detection_study(scale=0.05,
+                            seeds=(s for s in (1, 2)),
+                            benchmarks=("firefox-start",),
+                            samplers=("TL-Ad", "Full"))
+        assert [run.seed for run in a.runs] == [1, 2]
+        # ... and the generator-keyed study memoizes as its tuple twin.
+        b = detection_study(scale=0.05, seeds=(1, 2),
+                            benchmarks=("firefox-start",),
+                            samplers=("TL-Ad", "Full"))
+        assert a is b
+
 
 class TestRegistry:
     def test_every_experiment_importable_with_run(self):
