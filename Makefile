@@ -1,17 +1,23 @@
 # Developer/CI entry points.  Tier-1 (`make test`) is the PR gate; the
 # smoke target exercises the parallel engine path end to end and is also
-# wired into tier-1 via tests/test_cli_experiments_smoke.py.
+# wired into tier-1 via tests/test_cli_experiments_smoke.py; staticpass
+# cross-checks the static race-freedom analysis against the dynamic
+# oracle on every workload (exit 1 on any soundness violation) and is
+# wired into tier-1 via tests/test_staticpass.py.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench artifacts clean-cache
+.PHONY: test smoke staticpass bench artifacts clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 smoke:
 	$(PYTHON) -m repro.experiments all --scale 0.1 --jobs 2
+
+staticpass:
+	$(PYTHON) -m repro staticpass --all --check --scale 0.2
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

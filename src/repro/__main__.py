@@ -42,8 +42,15 @@ def _cmd_run(args) -> int:
                               scale=args.scale)
     baseline = run_baseline(program, seed=args.seed)
     tool = LiteRace(sampler=args.sampler, seed=args.seed,
-                    num_counters=args.counters)
+                    num_counters=args.counters,
+                    static_prune=args.static_prune)
     result = tool.run(program)
+    if result.static_report is not None:
+        static = result.static_report
+        print(f"static pruning: {static.num_pruned} of "
+              f"{static.num_memory_pcs} memory-op sites provably "
+              f"race-free; {result.run.pruned_memory_ops:,} log calls "
+              f"skipped this run")
     if args.log_out:
         from .eventlog.store import save_log
 
@@ -99,6 +106,60 @@ def _cmd_analyze(args) -> int:
         print(f"  pcs ({pc1}, {pc2})  seen {count}x  "
               f"e.g. addr {example.addr:#x} between threads "
               f"{example.first_tid} and {example.second_tid}")
+    return 0
+
+
+def _cmd_staticpass(args) -> int:
+    """Run the static race-freedom analysis; optionally cross-check it
+    against the full-logging dynamic oracle (soundness gate)."""
+    from .staticpass import analyze
+
+    if args.all:
+        names = list(workloads.names())
+    elif args.workload:
+        names = [args.workload]
+    else:
+        print("staticpass: name a workload or pass --all", file=sys.stderr)
+        return 2
+
+    violations = 0
+    for name in names:
+        program = workloads.build(name, seed=args.seed, scale=args.scale)
+        report = analyze(program)
+        if args.verbose or len(names) == 1:
+            print(report.render())
+        else:
+            print(f"{name:18} {report.num_pruned:>3} of "
+                  f"{report.num_memory_pcs:>3} sites prunable, "
+                  f"{len(report.candidate_pairs)} candidate pair(s)")
+        planted_missed = report.check_planted(program)
+        for low, high in planted_missed:
+            violations += 1
+            print(f"  SOUNDNESS VIOLATION (planted): "
+                  f"{program.symbolize(low)} <-> {program.symbolize(high)}")
+        if args.check:
+            oracle = LiteRace(sampler="Full", seed=args.seed).run(program)
+            pruned = LiteRace(sampler="Full", seed=args.seed,
+                              static_prune=True).run(program)
+            lost = (oracle.report.static_races
+                    - pruned.report.static_races)
+            statically_missed = report.cross_check(
+                oracle.report.static_races)
+            for low, high in sorted(set(lost) | set(statically_missed)):
+                violations += 1
+                print(f"  SOUNDNESS VIOLATION (dynamic): "
+                      f"{program.symbolize(low)} <-> "
+                      f"{program.symbolize(high)}")
+            before = oracle.run.sampled_memory_ops
+            after = pruned.run.sampled_memory_ops
+            cut = (1 - after / before) if before else 0.0
+            print(f"  oracle races {len(oracle.report.static_races)}, "
+                  f"with pruning {len(pruned.report.static_races)}; "
+                  f"logged memory ops {before:,} -> {after:,} "
+                  f"(-{cut:.0%})")
+    if violations:
+        print(f"{violations} soundness violation(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -159,6 +220,23 @@ def main(argv=None) -> int:
                        help="write the event log to this file")
     run_p.add_argument("--suppressions", default=None,
                        help="file of known-benign races to filter out")
+    run_p.add_argument("--static-prune", action="store_true",
+                       help="skip logging for accesses the static pass "
+                            "proves race-free (repro.staticpass)")
+
+    sp_p = sub.add_parser(
+        "staticpass",
+        help="static race-freedom analysis over a workload's TIR")
+    sp_p.add_argument("workload", nargs="?", default=None)
+    sp_p.add_argument("--all", action="store_true",
+                      help="analyze every registered workload")
+    sp_p.add_argument("--seed", type=int, default=1)
+    sp_p.add_argument("--scale", type=float, default=1.0)
+    sp_p.add_argument("--check", action="store_true",
+                      help="also run the full-logging dynamic oracle and "
+                           "fail on any race the pruned run loses")
+    sp_p.add_argument("--verbose", action="store_true",
+                      help="full per-workload verdict breakdown")
 
     an_p = sub.add_parser(
         "analyze", help="offline analysis of a saved event log")
@@ -174,7 +252,8 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run,
-               "analyze": _cmd_analyze, "compare": _cmd_compare}
+               "analyze": _cmd_analyze, "compare": _cmd_compare,
+               "staticpass": _cmd_staticpass}
     return handler[args.command](args)
 
 

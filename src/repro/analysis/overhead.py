@@ -82,7 +82,8 @@ class OverheadSample:
 
 
 def _profiled_run(program, sampler_name: str, log_sync: bool,
-                  cost_model: CostModel, seed: int):
+                  cost_model: CostModel, seed: int,
+                  pruned_pcs: frozenset = frozenset()):
     harness = ProfilingHarness(
         make_sampler(sampler_name),
         cost_model=cost_model,
@@ -91,7 +92,8 @@ def _profiled_run(program, sampler_name: str, log_sync: bool,
         seed=seed,
     )
     executor = Executor(program, scheduler=RandomInterleaver(seed),
-                        cost_model=cost_model, harness=harness)
+                        cost_model=cost_model, harness=harness,
+                        pruned_pcs=pruned_pcs)
     run = executor.run()
     return run, harness.log
 
@@ -106,18 +108,30 @@ def run_overhead_cell(
     seed: int,
     scale: float = 1.0,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    static_prune: bool = False,
 ) -> OverheadSample:
-    """Measure all five §5.4 configurations of one (benchmark, seed)."""
+    """Measure all five §5.4 configurations of one (benchmark, seed).
+
+    With ``static_prune`` the memory-logging configurations (LiteRace and
+    full logging) skip log calls for accesses the static race-freedom
+    analysis proved safe; the dispatch- and sync-only configurations are
+    unaffected, since they never log memory operations.
+    """
     program = workloads.build(benchmark, seed=seed, scale=scale)
     base = run_baseline(program, seed=seed, cost_model=cost_model)
     base_time = base.baseline_time
 
+    pruned = frozenset()
+    if static_prune:
+        from ..staticpass import analyze
+        pruned = analyze(program).prune_set()
+
     disp_run, _ = _profiled_run(program, "Never", False, cost_model, seed)
     sync_run, _ = _profiled_run(program, "Never", True, cost_model, seed)
     lite_run, lite_log = _profiled_run(program, "TL-Ad", True,
-                                       cost_model, seed)
+                                       cost_model, seed, pruned)
     full_run, full_log = _profiled_run(program, "Full", True,
-                                       cost_model, seed)
+                                       cost_model, seed, pruned)
 
     return OverheadSample(
         benchmark=benchmark,

@@ -25,7 +25,7 @@ the adaptive back-off) applies per chunk of iterations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..tir import ops
 from ..tir.addr import AddrExpr, Indexed, Param
@@ -54,9 +54,9 @@ def _clone_instr(instr: Instr) -> Instr:
     elif isinstance(instr, ops.Io):
         copy = ops.Io(instr.duration)
     elif isinstance(instr, ops.Lock):
-        copy = ops.Lock(instr.var)
+        copy = ops.Lock(instr.var, instr.via_cas)
     elif isinstance(instr, ops.Unlock):
-        copy = ops.Unlock(instr.var)
+        copy = ops.Unlock(instr.var, instr.via_cas)
     elif isinstance(instr, ops.Wait):
         copy = ops.Wait(instr.var, instr.consume)
     elif isinstance(instr, ops.Notify):
@@ -116,14 +116,36 @@ class InstrumentedProgram:
     """
 
     def __init__(self, program: Program,
-                 versions: Dict[str, FunctionVersions]):
+                 versions: Dict[str, FunctionVersions],
+                 pruned_pcs: Optional[FrozenSet[int]] = None):
         self.program = program
         self.versions = versions
+        self.pruned_pcs = frozenset() if pruned_pcs is None \
+            else frozenset(pruned_pcs)
+        if self.pruned_pcs:
+            memory_pcs = {
+                instr.pc
+                for func in program.functions.values()
+                for instr in func.instructions()
+                if isinstance(instr, ops.MEMORY_OPS)
+            }
+            bad = self.pruned_pcs - memory_pcs
+            if bad:
+                raise ValueError(
+                    "prune set may only contain Read/Write PCs (sync ops "
+                    "keep the happens-before graph complete and are never "
+                    f"pruned); offending PCs: {sorted(bad)}"
+                )
 
     @property
     def num_dispatch_sites(self) -> int:
         """One dispatch check is inserted per original function (§3.3)."""
         return len(self.versions)
+
+    @property
+    def num_pruned_sites(self) -> int:
+        """Memory-op PCs whose logging the static pass removed."""
+        return len(self.pruned_pcs)
 
     @property
     def original_static_size(self) -> int:
@@ -142,8 +164,17 @@ class InstrumentedProgram:
         )
 
 
-def instrument(program: Program) -> InstrumentedProgram:
-    """Apply the LiteRace rewriting of Figure 3 to ``program``."""
+def instrument(program: Program,
+               prune_pcs: Optional[FrozenSet[int]] = None
+               ) -> InstrumentedProgram:
+    """Apply the LiteRace rewriting of Figure 3 to ``program``.
+
+    ``prune_pcs`` (from :mod:`repro.staticpass`) lists Read/Write PCs whose
+    logging calls are omitted from the instrumented clone because the static
+    pass proved them race-free.  Synchronization operations are never
+    prunable: the happens-before graph must stay complete for the
+    no-false-positive guarantee to hold.
+    """
     versions: Dict[str, FunctionVersions] = {}
     for name, func in program.functions.items():
         versions[name] = FunctionVersions(
@@ -151,7 +182,7 @@ def instrument(program: Program) -> InstrumentedProgram:
             instrumented=clone_function(func, "$instr"),
             uninstrumented=clone_function(func, "$uninstr"),
         )
-    return InstrumentedProgram(program, versions)
+    return InstrumentedProgram(program, versions, pruned_pcs=prune_pcs)
 
 
 # ----------------------------------------------------------------------

@@ -24,7 +24,10 @@ samplers on one interleaving.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, FrozenSet, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..staticpass import StaticReport
 
 from ..detector.hb import HappensBeforeDetector
 from ..detector.merge import merge_thread_logs
@@ -66,6 +69,8 @@ class AnalysisResult:
     #: Wire size of the log in bytes.
     log_bytes: int
     cost_model: CostModel
+    #: The static pass's verdicts when ``static_prune`` was on.
+    static_report: Optional["StaticReport"] = None
 
     @property
     def slowdown(self) -> float:
@@ -117,6 +122,7 @@ class LiteRace:
         alloc_as_sync: bool = True,
         log_sync: bool = True,
         seed: int = 0,
+        static_prune: bool = False,
     ):
         self.sampler = _as_sampler(sampler)
         self.cost_model = cost_model
@@ -125,11 +131,25 @@ class LiteRace:
         self.alloc_as_sync = alloc_as_sync
         self.log_sync = log_sync
         self.seed = seed
+        self.static_prune = static_prune
 
-    # -- the static pass ---------------------------------------------------
+    # -- the static passes -------------------------------------------------
+    def static_report(self, program: Program) -> Optional["StaticReport"]:
+        """The race-freedom analysis result, when pruning is enabled."""
+        if not self.static_prune:
+            return None
+        from ..staticpass import analyze
+        return analyze(program)
+
+    def _prune_set(self, program: Program,
+                   report: Optional["StaticReport"]) -> FrozenSet[int]:
+        if report is None:
+            report = self.static_report(program)
+        return report.prune_set() if report is not None else frozenset()
+
     def instrument(self, program: Program) -> InstrumentedProgram:
         """Apply the Figure-3 rewriting (clones + dispatch sites)."""
-        return instrument(program)
+        return instrument(program, prune_pcs=self._prune_set(program, None))
 
     # -- profiling -----------------------------------------------------------
     def _make_tracker(self) -> TimestampTracker:
@@ -141,7 +161,9 @@ class LiteRace:
 
     def profile(self, program: Program,
                 scheduler: Optional[Scheduler] = None,
-                sink=None) -> Tuple[RunResult, EventLog]:
+                sink=None,
+                static_report: Optional["StaticReport"] = None
+                ) -> Tuple[RunResult, EventLog]:
         """Execute under instrumentation; return measurements and the log."""
         harness = ProfilingHarness(
             self.sampler,
@@ -156,6 +178,7 @@ class LiteRace:
             scheduler=scheduler or RandomInterleaver(self.seed),
             cost_model=self.cost_model,
             harness=harness,
+            pruned_pcs=self._prune_set(program, static_report),
         )
         run = executor.run()
         return run, harness.log
@@ -176,7 +199,9 @@ class LiteRace:
     def run(self, program: Program,
             scheduler: Optional[Scheduler] = None) -> AnalysisResult:
         """Profile ``program`` and analyze its log offline."""
-        run, log = self.profile(program, scheduler)
+        static_report = self.static_report(program)
+        run, log = self.profile(program, scheduler,
+                                static_report=static_report)
         report, inconsistencies = self.analyze_log(log)
         return AnalysisResult(
             run=run,
@@ -185,6 +210,7 @@ class LiteRace:
             merge_inconsistencies=inconsistencies,
             log_bytes=encoded_size(log),
             cost_model=self.cost_model,
+            static_report=static_report,
         )
 
 

@@ -30,6 +30,7 @@ EXPERIMENT_NAMES = (
     "table5",
     "figure6",
     "ablations",
+    "staticprune",
 )
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import sys
 
 from . import EXPERIMENT_NAMES, run_all
@@ -33,18 +34,35 @@ def main(argv=None) -> int:
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--seeds", type=str, default="1,2,3",
                         help="comma-separated scheduler seeds")
+    parser.add_argument("--static-prune", action="store_true",
+                        help="apply the static race-freedom analysis to "
+                             "prune provably-safe memory-op logging "
+                             "(overhead experiments only)")
     add_engine_arguments(parser)
     args = parser.parse_args(argv)
     seeds = tuple(int(s) for s in args.seeds.split(",") if s)
     jobs, use_cache = configure_engine_from_args(args)
 
     if args.which == "all":
+        if args.static_prune:
+            print("error: --static-prune applies to individual overhead "
+                  "experiments (table5, figure6), not 'all'",
+                  file=sys.stderr)
+            return 2
         out = run_all(scale=args.scale, seeds=seeds, jobs=jobs,
                       use_cache=use_cache)
     else:
         module = importlib.import_module(f"repro.experiments.{args.which}")
-        out = module.run(scale=args.scale, seeds=seeds, jobs=jobs,
-                         use_cache=use_cache)
+        kwargs = dict(scale=args.scale, seeds=seeds, jobs=jobs,
+                      use_cache=use_cache)
+        if args.static_prune:
+            if "static_prune" not in inspect.signature(
+                    module.run).parameters:
+                print(f"error: experiment {args.which!r} does not support "
+                      "--static-prune", file=sys.stderr)
+                return 2
+            kwargs["static_prune"] = True
+        out = module.run(**kwargs)
     print(out)
     return 0
 

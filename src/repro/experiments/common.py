@@ -81,18 +81,19 @@ def overhead_study(scale: float = DEFAULT_SCALE,
                    seeds: Iterable[int] = (1,),
                    benchmarks: Optional[Tuple[str, ...]] = None,
                    jobs: Optional[int] = None,
-                   use_cache: Optional[bool] = None) -> "list":
+                   use_cache: Optional[bool] = None,
+                   static_prune: bool = False) -> "list":
     """The memoized §5.4 study shared by Table 5 and Figure 6."""
     seeds = tuple(seeds)
     if benchmarks is None:
         benchmarks = tuple(workloads.overhead_eval_names())
     else:
         benchmarks = tuple(benchmarks)
-    key = (scale, seeds, benchmarks)
+    key = (scale, seeds, benchmarks, static_prune)
     if key not in _OVERHEAD_CACHE:
         _OVERHEAD_CACHE[key] = engine.parallel_overhead_rows(
             scale=scale, seeds=seeds, benchmarks=benchmarks,
-            jobs=jobs, use_cache=use_cache,
+            jobs=jobs, use_cache=use_cache, static_prune=static_prune,
         )
     return _OVERHEAD_CACHE[key]
 

@@ -82,8 +82,9 @@ CACHE_ENV = "REPRO_CACHE_DIR"
 
 #: Bumped whenever the *meaning* of a cached result changes (detector or
 #: runtime semantics) without a package-version bump; invalidates every
-#: existing entry at once.
-CACHE_SCHEMA = 1
+#: existing entry at once.  Schema 2: cells grew the ``static_prune``
+#: parameter (the staticpass pruning ablation).
+CACHE_SCHEMA = 2
 
 _CELL_KINDS = ("detection", "overhead", "inventory", "sync-probe")
 
@@ -104,6 +105,9 @@ class Cell:
     scale: float = 1.0
     samplers: Tuple[str, ...] = ()
     switch_prob: float = 0.0
+    #: Overhead cells only: prune statically race-free accesses from the
+    #: memory-logging configurations (repro.staticpass).
+    static_prune: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in _CELL_KINDS:
@@ -113,7 +117,7 @@ class Cell:
     def sort_key(self) -> Tuple:
         """The canonical merge order — intrinsic, not submission order."""
         return (self.kind, self.benchmark, self.seed, self.scale,
-                self.samplers, self.switch_prob)
+                self.samplers, self.switch_prob, self.static_prune)
 
     def label(self) -> str:
         """Short human-readable form for progress output."""
@@ -123,6 +127,8 @@ class Cell:
         parts.append(f"seed={self.seed}")
         if self.kind != "sync-probe":
             parts.append(f"scale={self.scale}")
+        if self.static_prune:
+            parts.append("static-prune")
         return " ".join(parts)
 
 
@@ -210,6 +216,7 @@ def cell_fingerprint(cell: Cell,
         "scale": cell.scale,
         "samplers": list(cell.samplers),
         "switch_prob": cell.switch_prob,
+        "static_prune": cell.static_prune,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -270,7 +277,7 @@ def _compute_cell(cell: Cell, cost_model: CostModel):
     if cell.kind == "overhead":
         return run_overhead_cell(
             cell.benchmark, cell.seed, scale=cell.scale,
-            cost_model=cost_model,
+            cost_model=cost_model, static_prune=cell.static_prune,
         )
     if cell.kind == "inventory":
         from .table2 import inventory_row
@@ -367,10 +374,11 @@ def detection_cells(benchmarks: Sequence[str], seeds: Iterable[int],
 
 
 def overhead_cells(benchmarks: Sequence[str], seeds: Iterable[int],
-                   scale: float) -> List[Cell]:
+                   scale: float, static_prune: bool = False) -> List[Cell]:
     """The §5.4 matrix in canonical (benchmark, seed) order."""
     return [
-        Cell(kind="overhead", benchmark=name, seed=seed, scale=scale)
+        Cell(kind="overhead", benchmark=name, seed=seed, scale=scale,
+             static_prune=static_prune)
         for name in benchmarks
         for seed in seeds
     ]
@@ -420,9 +428,10 @@ def parallel_overhead_rows(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    static_prune: bool = False,
 ) -> List[OverheadRow]:
     """The §5.4 study via the engine, merged in benchmark order."""
-    cells = overhead_cells(benchmarks, seeds, scale)
+    cells = overhead_cells(benchmarks, seeds, scale, static_prune)
     results = run_cells(cells, cost_model=cost_model, jobs=jobs,
                         use_cache=use_cache)
     samples = [results[cell] for cell in cells]

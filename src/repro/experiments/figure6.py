@@ -29,9 +29,11 @@ def _stacked_bar(fracs: List[float], total_scale: float) -> str:
 
 
 def run(scale: float = DEFAULT_SCALE, seeds: Iterable[int] = (1,),
-        jobs: Optional[int] = None, use_cache: Optional[bool] = None) -> str:
+        jobs: Optional[int] = None, use_cache: Optional[bool] = None,
+        static_prune: bool = False) -> str:
     rows_data = overhead_study(scale=scale, seeds=tuple(seeds),
-                               jobs=jobs, use_cache=use_cache)
+                               jobs=jobs, use_cache=use_cache,
+                               static_prune=static_prune)
     peak = max(r.literace_slowdown for r in rows_data)
     rows = []
     lines = []

@@ -21,9 +21,11 @@ __all__ = ["run"]
 
 
 def run(scale: float = DEFAULT_SCALE, seeds: Iterable[int] = (1,),
-        jobs: Optional[int] = None, use_cache: Optional[bool] = None) -> str:
+        jobs: Optional[int] = None, use_cache: Optional[bool] = None,
+        static_prune: bool = False) -> str:
     rows_data = overhead_study(scale=scale, seeds=tuple(seeds),
-                               jobs=jobs, use_cache=use_cache)
+                               jobs=jobs, use_cache=use_cache,
+                               static_prune=static_prune)
     rows: List[List[str]] = []
     micro = {"lkrhash", "lflist"}
 
@@ -59,12 +61,15 @@ def run(scale: float = DEFAULT_SCALE, seeds: Iterable[int] = (1,),
     realistic = [r for r in rows_data if r.benchmark not in micro]
     rows.append(["Average (w/o microbench)"] + averages(realistic))
 
+    title = ("Table 5: slowdown and log-size overhead, LiteRace (TL-Ad) "
+             "vs full logging")
+    if static_prune:
+        title += " [static pruning on]"
     table = format_table(
         ["Benchmark", "Baseline", "LiteRace", "(paper)",
          "Full logging", "(paper)", "LR MB/s", "Full MB/s"],
         rows,
-        title="Table 5: slowdown and log-size overhead, LiteRace (TL-Ad) "
-              "vs full logging",
+        title=title,
     )
     return table + paper_note(
         "Paper averages: 1.47x / 9.09x with microbenchmarks, 1.28x / 7.51x "

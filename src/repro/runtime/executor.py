@@ -22,7 +22,7 @@ memory-logging cycles, plus I/O time that is unaffected by instrumentation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Generator, Optional, Sequence, Tuple
 
 from ..eventlog.events import SyncKind
 from ..layout import is_stack_addr
@@ -95,6 +95,9 @@ class RunResult:
     memory_ops: int = 0
     nonstack_memory_ops: int = 0
     sampled_memory_ops: int = 0
+    #: Memory ops whose log call the static pass removed (repro.staticpass):
+    #: sampled by the dispatch check but never logged.
+    pruned_memory_ops: int = 0
     sync_ops: int = 0
     function_calls: int = 0
     instrumented_calls: int = 0
@@ -139,12 +142,18 @@ class Executor:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         harness: Optional[Harness] = None,
         max_steps: int = 200_000_000,
+        pruned_pcs: Optional[FrozenSet[int]] = None,
     ):
         self.program = program
         self.scheduler = scheduler if scheduler is not None else RandomInterleaver()
         self.cost = cost_model
         self.harness = harness
         self.max_steps = max_steps
+        #: Read/Write PCs whose logging call the static pass pruned from
+        #: the instrumented clone; the executor models the missing call by
+        #: skipping the memory hook (no log record, no log-cost cycles).
+        self.pruned_pcs = frozenset() if pruned_pcs is None \
+            else frozenset(pruned_pcs)
 
         self.heap = Heap()
         self.result = RunResult(program_name=program.name)
@@ -280,7 +289,10 @@ class Executor:
             self.result.nonstack_memory_ops += 1
         self._charge(self.cost.memory_op)
         if instrumented and self.harness is not None:
-            self._hook_memory(thread.tid, addr, pc, is_write)
+            if pc in self.pruned_pcs:
+                self.result.pruned_memory_ops += 1
+            else:
+                self._hook_memory(thread.tid, addr, pc, is_write)
 
     def _do_compute(self, thread, frame, instr: ops.Compute, instrumented):
         self._charge(self.cost.compute_unit * instr.n)

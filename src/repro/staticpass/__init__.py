@@ -1,0 +1,42 @@
+"""Static race-freedom analysis over finalized TIR programs.
+
+LiteRace pays a logging call for every sampled memory operation, but many
+accesses are *statically* provably race-free — thread-local, read-only
+shared, or consistently lock-dominated.  Following the whitelist idea of
+"Compiling Away the Overhead of Race Detection" and HardRace (PAPERS.md),
+this package proves such accesses safe ahead of time so the
+instrumentation pass can skip their logging entirely:
+
+* :mod:`.escape` — thread-escape / abstract-value analysis giving every
+  operand an over-approximating address :class:`~.model.Footprint`;
+* :mod:`.callgraph` — contexts (entry + one per ``Fork`` site), context
+  multiplicities, and fork/join happens-before ordering facts;
+* :mod:`.lockset` — a must-lockset dataflow with concrete and
+  lock-per-object relative tokens;
+* :mod:`.classify` — the pairwise filter producing a
+  :class:`~.report.StaticReport` of per-PC verdicts and surviving
+  candidate racy pairs.
+
+Only ``Read``/``Write`` PCs are ever pruned.  Synchronization operations
+are structurally unprunable, so the happens-before graph the detector
+reconstructs stays complete and the no-false-positive guarantee of the
+paper is untouched; pruning an access the analysis wrongly judged safe is
+the only possible failure mode, and the analysis errs conservative at
+every join.  ``python -m repro staticpass`` and the
+``experiments.staticprune`` ablation cross-check the verdicts against the
+dynamic detector's full-logging oracle.
+"""
+
+from __future__ import annotations
+
+from ..tir.program import Program
+from .classify import classify
+from .model import Footprint, Verdict
+from .report import StaticReport
+
+__all__ = ["analyze", "StaticReport", "Verdict", "Footprint"]
+
+
+def analyze(program: Program) -> StaticReport:
+    """Classify every memory-op PC of ``program``; see :mod:`.classify`."""
+    return classify(program)

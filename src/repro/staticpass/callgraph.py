@@ -1,0 +1,290 @@
+"""Call graph, thread contexts, and fork/join ordering facts.
+
+The dynamic detector sees one thread per executed ``Fork``.  Statically we
+approximate threads by **contexts**: the entry context (the main thread)
+plus one context per ``Fork`` instruction.  A function's accesses execute
+in every context from which the function is reachable through ``Call``
+edges; ``Fork`` edges start a new context.
+
+Each context carries a **multiplicity** — whether its fork site can
+execute more than once (a fork inside a ``Loop``, or in a function that is
+itself activated more than once).  A context with multiplicity MANY models
+several concurrent threads running the same code, so two accesses in the
+same MANY context can race with each other.
+
+Two refinements recover the common *init → fork → join → teardown*
+structure of the bundled workloads, both justified by happens-before edges
+the dynamic detector also records:
+
+* **Fork ordering** — main-thread work that fully precedes the fork that
+  (transitively) starts a context happens-before everything in that
+  context, via the FORK edge.
+* **Join ordering** — main-thread work after the ``Join`` of a context's
+  one fork happens-after everything in it, via the JOIN edge.
+
+Both are computed positionally over the entry function's top-level
+statement list: statement ``i`` fully precedes statement ``j`` iff
+``i < j`` (TIR has no early exits, so top-level statements execute in
+order, to completion).  Anything not provably ordered is treated as
+potentially parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from ..tir import ops
+from ..tir.program import Program
+
+__all__ = ["CallGraph", "ENTRY_CONTEXT"]
+
+#: The context id of the main thread.
+ENTRY_CONTEXT = "entry"
+
+#: Context ids: the entry marker, or the PC of the Fork instruction.
+ContextId = Union[str, int]
+
+_MANY = 2
+
+
+def _saturate(n: int) -> int:
+    return min(n, _MANY)
+
+
+@dataclass
+class _Site:
+    """One Call or Fork instruction, with its static position."""
+
+    instr: ops.Instr
+    owner: str
+    in_loop: bool
+    top_index: int  # index of the containing top-level statement
+    depth: int      # 0 = directly in the function body
+
+
+class CallGraph:
+    """Whole-program reachability, contexts, and ordering facts."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.entry = program.entry
+        self.call_sites: List[_Site] = []
+        self.fork_sites: List[_Site] = []
+        self._collect_sites()
+        self._compute_activations()
+        self._compute_contexts()
+        self._compute_reach_tops()
+        self._compute_anchors()
+        self._compute_joins()
+
+    # ------------------------------------------------------------------
+    def _collect_sites(self) -> None:
+        self._fork_by_pc: Dict[int, _Site] = {}
+        for name, func in self.program.functions.items():
+            for instr, in_loop, top, depth in _walk(func.body):
+                if isinstance(instr, ops.Call):
+                    self.call_sites.append(_Site(instr, name, in_loop,
+                                                 top, depth))
+                elif isinstance(instr, ops.Fork):
+                    site = _Site(instr, name, in_loop, top, depth)
+                    self.fork_sites.append(site)
+                    self._fork_by_pc[instr.pc] = site
+
+    def _compute_activations(self) -> None:
+        """How many times each function may be activated: 0, 1, or MANY."""
+        self.activations: Dict[str, int] = {
+            name: 0 for name in self.program.functions
+        }
+        self.activations[self.entry] = 1
+        for _ in range(len(self.program.functions) + 2):
+            changed = False
+            counts = {name: 0 for name in self.program.functions}
+            counts[self.entry] = 1
+            for site in self.call_sites + self.fork_sites:
+                weight = _MANY if site.in_loop else 1
+                contribution = self.activations[site.owner] * weight
+                target = site.instr.func
+                counts[target] = _saturate(counts[target] + contribution)
+            for name, count in counts.items():
+                if count != self.activations[name]:
+                    self.activations[name] = count
+                    changed = True
+            if not changed:
+                break
+
+    def _compute_contexts(self) -> None:
+        """The set of contexts each function may execute in."""
+        self.contexts: Dict[str, Set[ContextId]] = {
+            name: set() for name in self.program.functions
+        }
+        self.contexts[self.entry].add(ENTRY_CONTEXT)
+        changed = True
+        while changed:
+            changed = False
+            for site in self.call_sites:
+                added = self.contexts[site.owner] - \
+                    self.contexts[site.instr.func]
+                if added:
+                    self.contexts[site.instr.func] |= added
+                    changed = True
+            for site in self.fork_sites:
+                if (self.contexts[site.owner]
+                        and site.instr.pc not in
+                        self.contexts[site.instr.func]):
+                    self.contexts[site.instr.func].add(site.instr.pc)
+                    changed = True
+
+    def multiplicity(self, context: ContextId) -> int:
+        """1 if the context is a single thread, MANY otherwise."""
+        if context == ENTRY_CONTEXT:
+            return 1
+        site = self._fork_by_pc[context]
+        weight = _MANY if site.in_loop else 1
+        return _saturate(self.activations[site.owner] * weight)
+
+    # ------------------------------------------------------------------
+    def _compute_reach_tops(self) -> None:
+        """``reach_tops[f]``: the entry-body top-level statement indices
+        under whose dynamic extent ``f`` may execute *in the entry
+        context* (reached from the entry purely through Calls)."""
+        self.reach_tops: Dict[str, Set[int]] = {
+            name: set() for name in self.program.functions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for site in self.call_sites:
+                if ENTRY_CONTEXT not in self.contexts[site.owner]:
+                    continue
+                tops = ({site.top_index} if site.owner == self.entry
+                        else self.reach_tops[site.owner])
+                added = tops - self.reach_tops[site.instr.func]
+                if added:
+                    self.reach_tops[site.instr.func] |= added
+                    changed = True
+
+    def entry_tops(self, owner: str, pc: int) -> Set[int]:
+        """Entry-body top indices covering all entry-context executions of
+        the instruction at ``pc`` (owned by ``owner``)."""
+        if owner == self.entry:
+            top = self._top_index_of(pc)
+            return {top} if top is not None else set()
+        return set(self.reach_tops[owner])
+
+    def _top_index_of(self, pc: int) -> Optional[int]:
+        entry_func = self.program.functions[self.entry]
+        for index, stmt in enumerate(entry_func.body):
+            if stmt.pc == pc:
+                return index
+            if isinstance(stmt, ops.Loop):
+                if any(sub.pc == pc for sub in _loop_instrs(stmt)):
+                    return index
+        return None
+
+    def _compute_anchors(self) -> None:
+        """``anchors[F]``: entry-body top indices before which *no* thread
+        of context F can start, or None when unknown."""
+        self.anchors: Dict[int, Optional[Set[int]]] = {}
+        for site in self.fork_sites:
+            self._anchor_of(site.instr.pc, ())
+
+    def _anchor_of(self, fork_pc: int,
+                   stack: Tuple[int, ...]) -> Optional[Set[int]]:
+        if fork_pc in self.anchors:
+            return self.anchors[fork_pc]
+        if fork_pc in stack:
+            return None  # recursive fork chain: give up, stay conservative
+        site = self._fork_by_pc[fork_pc]
+        result: Set[int] = set()
+        for context in self.contexts[site.owner]:
+            if context == ENTRY_CONTEXT:
+                tops = self.entry_tops(site.owner, fork_pc)
+                if not tops:
+                    self.anchors[fork_pc] = None
+                    return None
+                result |= tops
+            else:
+                inherited = self._anchor_of(context, stack + (fork_pc,))
+                if inherited is None:
+                    self.anchors[fork_pc] = None
+                    return None
+                result |= inherited
+        self.anchors[fork_pc] = result
+        return result
+
+    def _compute_joins(self) -> None:
+        """``join_top[F]``: the entry-body top index after which all
+        threads of context F have terminated, when provable."""
+        self.join_top: Dict[int, int] = {}
+        entry_func = self.program.functions[self.entry]
+        slot_writers: Dict[int, List[_Site]] = {}
+        for site in self.fork_sites:
+            slot = site.instr.tid_slot
+            if site.owner == self.entry and slot is not None:
+                slot_writers.setdefault(slot, []).append(site)
+        for slot, writers in slot_writers.items():
+            if len(writers) != 1:
+                continue  # slot reused: the Join targets only the last fork
+            site = writers[0]
+            if site.depth != 0:
+                continue  # a fork under a loop runs more than once
+            for index, stmt in enumerate(entry_func.body):
+                if (isinstance(stmt, ops.Join) and stmt.tid_slot == slot
+                        and index > site.top_index):
+                    self.join_top[site.instr.pc] = index
+                    break
+
+    # ------------------------------------------------------------------
+    def ordered_against(self, owner: str, pc: int,
+                        context: ContextId) -> bool:
+        """True when every entry-context execution of ``pc`` is ordered
+        (by fork or join happens-before edges) against every thread of
+        ``context``."""
+        if context == ENTRY_CONTEXT:
+            return False
+        tops = self.entry_tops(owner, pc)
+        if not tops:
+            return False  # can't place the access: stay conservative
+        anchors = self.anchors.get(context)
+        if anchors is not None and anchors and max(tops) < min(anchors):
+            return True
+        join = self.join_top.get(context)
+        if join is not None and min(tops) > join:
+            return True
+        return False
+
+    def may_be_parallel(self, owner_a: str, pc_a: int,
+                        owner_b: str, pc_b: int) -> bool:
+        """May some execution of ``pc_a`` run concurrently with some
+        execution of ``pc_b`` in a different thread?"""
+        for ca in self.contexts[owner_a]:
+            for cb in self.contexts[owner_b]:
+                if ca == cb:
+                    if self.multiplicity(ca) >= _MANY:
+                        return True
+                    continue
+                if ca == ENTRY_CONTEXT and \
+                        self.ordered_against(owner_a, pc_a, cb):
+                    continue
+                if cb == ENTRY_CONTEXT and \
+                        self.ordered_against(owner_b, pc_b, ca):
+                    continue
+                return True
+        return False
+
+
+def _walk(body, in_loop=False, top=None, depth=0):
+    """Yield ``(instr, in_loop, top_index, depth)`` over a body tree."""
+    for index, instr in enumerate(body):
+        top_index = index if top is None else top
+        yield instr, in_loop, top_index, depth
+        if isinstance(instr, ops.Loop):
+            yield from _walk(instr.body, True, top_index, depth + 1)
+
+
+def _loop_instrs(loop: ops.Loop):
+    for instr in loop.body:
+        yield instr
+        if isinstance(instr, ops.Loop):
+            yield from _loop_instrs(instr)

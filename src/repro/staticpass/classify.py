@@ -1,0 +1,127 @@
+"""Pairwise classification: footprints × contexts × locksets → verdicts.
+
+Every pair of memory-op PCs is tested with three over-approximating
+filters; a pair survives as a *candidate race* only if it passes all of
+them:
+
+1. **footprint conflict** — the operands may denote the same address in
+   different threads (:meth:`Footprint.conflicts`);
+2. **parallelism** — some two executions of the pair can run concurrently
+   in different threads (:meth:`CallGraph.may_be_parallel`, which knows
+   about fork/join ordering against the main thread);
+3. **no common lock** — the must-locksets share no token.  Concrete
+   tokens intersect directly.  Relative tokens (``lock at param+δ``)
+   match when both accesses are direct ``Param`` references and the
+   lock-to-data deltas agree: if access ``p`` at ``base_p + a`` holds the
+   lock at ``base_p + l`` and access ``q`` at ``base_q + a'`` holds
+   ``base_q + l'`` with ``l - a == l' - a'``, then on *every* instance
+   where the operands alias (``base_p + a == base_q + a'``) the two lock
+   addresses coincide — a common lock per object, the lock-per-bucket /
+   lock-per-channel idiom.
+
+Write-free surviving pairs are not races (read-read) but mark both PCs as
+shared; those become READ_ONLY rather than THREAD_LOCAL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..tir.program import Program
+from .callgraph import CallGraph
+from .escape import Access, ValueAnalysis
+from .lockset import LocksetAnalysis
+from .model import Verdict
+from .report import StaticReport
+
+__all__ = ["classify"]
+
+
+def classify(program: Program) -> StaticReport:
+    """Run all analyses over ``program`` and fold them into a report."""
+    values = ValueAnalysis(program)
+    graph = CallGraph(program)
+    locks = LocksetAnalysis(program, values)
+
+    accesses = values.accesses
+    may_race: Set[int] = set()
+    lock_saved: Set[int] = set()
+    shared_read: Set[int] = set()
+    pairs: Set[Tuple[int, int]] = set()
+
+    for i, p in enumerate(accesses):
+        for q in accesses[i:]:
+            if not p.footprint.conflicts(q.footprint):
+                continue
+            if not graph.may_be_parallel(p.owner, p.pc, q.owner, q.pc):
+                continue
+            if not (p.is_write or q.is_write):
+                shared_read.add(p.pc)
+                shared_read.add(q.pc)
+                continue
+            if _common_lock(p, q, locks):
+                lock_saved.add(p.pc)
+                lock_saved.add(q.pc)
+                continue
+            may_race.add(p.pc)
+            may_race.add(q.pc)
+            pairs.add((min(p.pc, q.pc), max(p.pc, q.pc)))
+
+    verdicts: Dict[int, Verdict] = {}
+    for access in accesses:
+        if access.pc in may_race:
+            verdicts[access.pc] = Verdict.MAY_RACE
+        elif access.pc in lock_saved:
+            verdicts[access.pc] = Verdict.LOCK_DOMINATED
+        elif access.pc in shared_read:
+            verdicts[access.pc] = Verdict.READ_ONLY
+        else:
+            verdicts[access.pc] = Verdict.THREAD_LOCAL
+
+    symbols = {access.pc: program.symbolize(access.pc)
+               for access in accesses}
+    return StaticReport(
+        program_name=program.name,
+        verdicts=verdicts,
+        candidate_pairs=frozenset(pairs),
+        symbols=symbols,
+    )
+
+
+def _common_lock(p: Access, q: Access, locks: LocksetAnalysis) -> bool:
+    """Do ``p`` and ``q`` provably share a lock on every aliasing pair of
+    executions?"""
+    lp = locks.lockset(p.pc)
+    lq = locks.lockset(q.pc)
+    if not lp or not lq:
+        return False
+    exact_p = {t[1] for t in lp if t[0] == "x"}
+    exact_q = {t[1] for t in lq if t[0] == "x"}
+    if exact_p & exact_q:
+        return True
+    # Relative (lock-per-object) matching.
+    if p.rel_base is not None and q.rel_base is not None:
+        deltas_p = _rel_deltas(lp, p)
+        deltas_q = _rel_deltas(lq, q)
+        if deltas_p & deltas_q:
+            return True
+    # Single-address overlap: with both operands pinned to one concrete
+    # address, relative locks resolve to concrete addresses too.
+    ap = p.footprint.single_exact()
+    aq = q.footprint.single_exact()
+    if ap is not None and ap == aq:
+        resolved_p = exact_p | {ap + delta for delta in _rel_deltas(lp, p)}
+        resolved_q = exact_q | {aq + delta for delta in _rel_deltas(lq, q)}
+        if resolved_p & resolved_q:
+            return True
+    return False
+
+
+def _rel_deltas(tokens: FrozenSet[Tuple], access: Access) -> Set[int]:
+    """Lock-minus-data deltas of the relative locks pinned to the
+    access's own parameter base."""
+    if access.rel_base is None:
+        return set()
+    index, data_offset = access.rel_base
+    return {t[2] - data_offset for t in tokens
+            if t[0] == "r" and t[1] == index}

@@ -1,0 +1,176 @@
+"""Thread-escape / abstract-value analysis over TIR operands.
+
+Computes, for every function, an over-approximating :class:`Footprint` for
+each parameter (joined over all ``Call``/``Fork`` sites, to a fixpoint) and
+each heap slot, then evaluates every ``Read``/``Write`` operand to a
+footprint.  ``Indexed`` operands are widened by the trip-count bound of the
+loop that supplies their induction variable; dynamic trip counts widen to
+the end of the containing address-space region.
+
+Escape happens at argument evaluation: a heap block whose base is passed
+as a ``Call``/``Fork`` argument is marked *escaped* in the receiver, which
+is what lets :meth:`Footprint.conflicts` distinguish per-frame private
+blocks from genuinely shared ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..tir import ops
+from ..tir.addr import HeapSlot, Indexed, Param, Tls
+from ..tir.program import Program
+from .model import EMPTY, TLS_FOOTPRINT, UNKNOWN, Footprint
+
+__all__ = ["Access", "ValueAnalysis"]
+
+#: Fixpoint iteration cap; params still changing afterwards (offset-
+#: accumulating recursion) are widened to unknown.
+_MAX_ITERATIONS = 30
+
+
+@dataclass(frozen=True)
+class Access:
+    """One static Read/Write instruction, abstractly evaluated."""
+
+    pc: int
+    owner: str
+    is_write: bool
+    footprint: Footprint
+    #: ``(param_index, offset)`` when the operand is a direct ``Param``
+    #: reference — the shape the relative-lockset matcher understands.
+    rel_base: Optional[Tuple[int, int]]
+
+
+class ValueAnalysis:
+    """Parameter/slot footprints and per-access evaluation."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.param_fp: Dict[Tuple[str, int], Footprint] = {}
+        for name, func in program.functions.items():
+            for index in range(func.num_params):
+                self.param_fp[(name, index)] = EMPTY
+        # The executor may pass arbitrary entry parameters.
+        entry = program.functions[program.entry]
+        for index in range(entry.num_params):
+            self.param_fp[(program.entry, index)] = UNKNOWN
+        self._compute_slot_footprints()
+        self._solve_params()
+        self.accesses = self._collect_accesses()
+
+    # ------------------------------------------------------------------
+    def _compute_slot_footprints(self) -> None:
+        """Frame slots hold heap-block bases (``Alloc``) or thread ids
+        (``Fork``); both are purely local facts."""
+        self.slot_fp: Dict[Tuple[str, int], Footprint] = {}
+        for name, func in self.program.functions.items():
+            for instr in func.instructions():
+                if isinstance(instr, ops.Alloc):
+                    key = (name, instr.slot)
+                    fp = self.slot_fp.get(key, EMPTY)
+                    self.slot_fp[key] = fp.join(
+                        Footprint.fresh_heap(instr.pc))
+                elif isinstance(instr, ops.Fork) and \
+                        instr.tid_slot is not None:
+                    # A tid is a small integer, not an address; if the
+                    # workload nevertheless dereferences it, stay sound.
+                    key = (name, instr.tid_slot)
+                    self.slot_fp[key] = UNKNOWN
+
+    # ------------------------------------------------------------------
+    def eval_value(self, expr, owner: str,
+                   bounds: Tuple[Optional[int], ...] = ()) -> Footprint:
+        """Footprint of an operand/argument in ``owner``'s frame.
+
+        ``bounds`` is the stack of enclosing loop trip-count bounds,
+        outermost first (``None`` = statically unbounded).
+        """
+        if isinstance(expr, int):
+            return Footprint.exact(expr)
+        if isinstance(expr, Param):
+            base = self.param_fp.get((owner, expr.index), UNKNOWN)
+            return base.shift(expr.offset)
+        if isinstance(expr, Tls):
+            return TLS_FOOTPRINT
+        if isinstance(expr, HeapSlot):
+            base = self.slot_fp.get((owner, expr.slot), EMPTY)
+            return base.shift(expr.offset)
+        if isinstance(expr, Indexed):
+            base = self.eval_value(expr.base, owner, bounds)
+            depth_index = len(bounds) - 1 - expr.depth
+            bound = bounds[depth_index] if 0 <= depth_index < len(bounds) \
+                else None
+            return base.widen(expr.stride, bound)
+        return UNKNOWN
+
+    def loop_bound(self, count, owner: str,
+                   bounds: Tuple[Optional[int], ...]) -> Optional[int]:
+        """Static upper bound for a loop trip count, if derivable."""
+        if isinstance(count, int):
+            return count
+        return self.eval_value(count, owner, bounds).max_exact()
+
+    # ------------------------------------------------------------------
+    def _solve_params(self) -> None:
+        for iteration in range(_MAX_ITERATIONS):
+            changed = self._propagate_once()
+            if not changed:
+                return
+        # Did not converge (e.g. recursion accumulating offsets): widen
+        # every parameter that is still moving.
+        moving = self._propagate_once(collect_only=True)
+        for key in moving:
+            self.param_fp[key] = UNKNOWN
+
+    def _propagate_once(self, collect_only: bool = False):
+        changed_keys = set()
+        for name, func in self.program.functions.items():
+            self._propagate_body(name, func.body, (), changed_keys,
+                                 collect_only)
+        return changed_keys if collect_only else bool(changed_keys)
+
+    def _propagate_body(self, owner: str, body, bounds, changed_keys,
+                        collect_only: bool) -> None:
+        for instr in body:
+            if isinstance(instr, (ops.Call, ops.Fork)):
+                for index, arg in enumerate(instr.args):
+                    key = (instr.func, index)
+                    if key not in self.param_fp:
+                        continue
+                    fp = self.eval_value(arg, owner, bounds).escaped()
+                    joined = self.param_fp[key].join(fp)
+                    if joined != self.param_fp[key]:
+                        changed_keys.add(key)
+                        if not collect_only:
+                            self.param_fp[key] = joined
+            elif isinstance(instr, ops.Loop):
+                bound = self.loop_bound(instr.count, owner, bounds)
+                self._propagate_body(owner, instr.body, bounds + (bound,),
+                                     changed_keys, collect_only)
+
+    # ------------------------------------------------------------------
+    def _collect_accesses(self) -> List[Access]:
+        accesses: List[Access] = []
+        for name, func in self.program.functions.items():
+            self._collect_body(name, func.body, (), accesses)
+        return accesses
+
+    def _collect_body(self, owner: str, body, bounds, out) -> None:
+        for instr in body:
+            if isinstance(instr, (ops.Read, ops.Write)):
+                operand = instr.addr
+                rel = ((operand.index, operand.offset)
+                       if isinstance(operand, Param) else None)
+                out.append(Access(
+                    pc=instr.pc,
+                    owner=owner,
+                    is_write=isinstance(instr, ops.Write),
+                    footprint=self.eval_value(operand, owner, bounds),
+                    rel_base=rel,
+                ))
+            elif isinstance(instr, ops.Loop):
+                bound = self.loop_bound(instr.count, owner, bounds)
+                self._collect_body(owner, instr.body, bounds + (bound,),
+                                   out)

@@ -1,0 +1,227 @@
+"""Static must-lockset dataflow over TIR function bodies.
+
+For every ``Read``/``Write`` PC, computes an under-approximation of the
+set of locks *definitely held* whenever that PC executes — the classic
+must-analysis direction: dropping a lock we actually hold is always sound
+(the access merely stays instrumented), while claiming a lock we might not
+hold would not be.
+
+Lock tokens come in two shapes:
+
+* ``("x", addr)`` — the mutex at a statically-known concrete address.
+* ``("r", param_index, offset)`` — the mutex at ``param + offset`` in the
+  *current frame*.  Relative tokens capture the lock-per-object idiom
+  (``Lock(Param(0))`` guarding fields of ``Param(0, k)``): two accesses
+  through the same kind of relative lock share a concrete lock on every
+  program instance where their operands alias, because the lock address is
+  pinned to the object address (see :func:`repro.staticpass.classify`).
+
+``via_cas`` locks participate like any other: the TIR keeps the flag, so —
+unlike the dynamic profiler of §4.2, which must *guess* that a CAS loop is
+a lock — the static pass knows these are real mutual exclusion, and the
+runtime additionally emits ATOMIC happens-before edges for them.
+``AtomicRMW`` itself confers no static exclusion (optimistic CAS loops do
+not make their neighbourhood atomic); it is a sync op and therefore never
+a pruning candidate in the first place.
+
+Propagation: function entry sets are the intersection of the caller-held
+concrete locks over all ``Call`` sites; ``Fork`` targets start with the
+empty set (a child holds nothing — and, because the runtime's mutexes are
+owner-release-only, a child can never release its parent's locks either).
+``Loop`` bodies run to an invariant fixpoint, so a lock released inside an
+iteration is not credited to the next one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..tir import ops
+from ..tir.addr import Param
+from ..tir.program import Program
+from .escape import ValueAnalysis
+
+__all__ = ["LocksetAnalysis", "Summary"]
+
+Token = Tuple
+_MAX_OUTER = 20
+_MAX_LOOP = 20
+
+
+@dataclass
+class Summary:
+    """What a call to this function may do to the caller's locks."""
+
+    may_release: FrozenSet[int]
+    releases_unknown: bool
+
+    def __or__(self, other: "Summary") -> "Summary":
+        return Summary(self.may_release | other.may_release,
+                       self.releases_unknown or other.releases_unknown)
+
+
+class LocksetAnalysis:
+    """Per-PC must-locksets for every memory operation in ``program``."""
+
+    def __init__(self, program: Program, values: ValueAnalysis):
+        self.program = program
+        self.values = values
+        self._compute_summaries()
+        self._solve()
+
+    def lockset(self, pc: int) -> FrozenSet[Token]:
+        return self.locksets.get(pc, frozenset())
+
+    # ------------------------------------------------------------------
+    # Release summaries (may-analysis, least fixpoint)
+    # ------------------------------------------------------------------
+    def _compute_summaries(self) -> None:
+        self.summaries: Dict[str, Summary] = {
+            name: Summary(frozenset(), False)
+            for name in self.program.functions
+        }
+        for _ in range(len(self.program.functions) + 2):
+            changed = False
+            for name, func in self.program.functions.items():
+                new = self._summarize_body(name, func.body)
+                if new != self.summaries[name]:
+                    self.summaries[name] = new
+                    changed = True
+            if not changed:
+                break
+
+    def _summarize_body(self, owner: str, body) -> Summary:
+        summary = Summary(frozenset(), False)
+        for instr in body:
+            if isinstance(instr, ops.Unlock):
+                addr = self.values.eval_value(
+                    instr.var, owner).single_exact()
+                if addr is None:
+                    summary = Summary(summary.may_release, True)
+                else:
+                    summary = Summary(summary.may_release | {addr},
+                                      summary.releases_unknown)
+            elif isinstance(instr, ops.Call):
+                summary = summary | self.summaries[instr.func]
+            elif isinstance(instr, ops.Loop):
+                summary = summary | self._summarize_body(owner, instr.body)
+        return summary
+
+    # ------------------------------------------------------------------
+    # Entry sets + per-PC locksets (must-analysis, intersections)
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        fork_targets = {
+            instr.func
+            for func in self.program.functions.values()
+            for instr in func.instructions()
+            if isinstance(instr, ops.Fork)
+        }
+        entry: Dict[str, Optional[FrozenSet[Token]]] = {
+            name: None for name in self.program.functions
+        }
+        entry[self.program.entry] = frozenset()
+        for name in fork_targets:
+            entry[name] = frozenset()
+
+        for _ in range(_MAX_OUTER):
+            self.locksets: Dict[int, FrozenSet[Token]] = {}
+            contributions: Dict[str, FrozenSet[Token]] = {}
+            for name, func in self.program.functions.items():
+                if entry[name] is None:
+                    continue
+                self._transfer_body(name, func.body, entry[name],
+                                    contributions)
+            new_entry = dict(entry)
+            for name, tokens in contributions.items():
+                if name in fork_targets or name == self.program.entry:
+                    continue  # pinned to the empty set
+                if new_entry[name] is None:
+                    new_entry[name] = tokens
+                else:
+                    new_entry[name] = new_entry[name] & tokens
+            if new_entry == entry:
+                break
+            entry = new_entry
+        self.entry_sets = entry
+
+    def _record(self, pc: int, tokens: FrozenSet[Token]) -> None:
+        if pc in self.locksets:
+            self.locksets[pc] &= tokens
+        else:
+            self.locksets[pc] = tokens
+
+    def _transfer_body(self, owner: str, body,
+                       tokens: FrozenSet[Token],
+                       contributions: Dict[str, FrozenSet[Token]]
+                       ) -> FrozenSet[Token]:
+        for instr in body:
+            if isinstance(instr, (ops.Read, ops.Write)):
+                self._record(instr.pc, tokens)
+            elif isinstance(instr, ops.Lock):
+                tokens = tokens | self._lock_tokens(instr.var, owner)
+            elif isinstance(instr, ops.Unlock):
+                tokens = self._remove(tokens, instr.var, owner)
+            elif isinstance(instr, ops.Call):
+                exact = frozenset(t for t in tokens if t[0] == "x")
+                if instr.func in contributions:
+                    contributions[instr.func] &= exact
+                else:
+                    contributions[instr.func] = exact
+                summary = self.summaries[instr.func]
+                if summary.releases_unknown:
+                    tokens = frozenset()
+                elif summary.may_release:
+                    tokens = frozenset(
+                        t for t in tokens
+                        if t[0] == "x" and t[1] not in summary.may_release
+                    )
+            elif isinstance(instr, ops.Loop):
+                tokens = self._loop_fixpoint(owner, instr, tokens,
+                                             contributions)
+        return tokens
+
+    def _loop_fixpoint(self, owner: str, loop: ops.Loop,
+                       tokens: FrozenSet[Token],
+                       contributions) -> FrozenSet[Token]:
+        invariant = tokens
+        for _ in range(_MAX_LOOP):
+            out = self._transfer_body(owner, loop.body, invariant,
+                                      contributions)
+            refined = tokens & out
+            if refined == invariant:
+                break
+            invariant = refined
+        else:
+            invariant = frozenset()
+        # One pass at the stable invariant records the final per-PC sets;
+        # the loop may execute zero times, so the post-state intersects
+        # the skip path with the body's exit state.
+        return tokens & self._transfer_body(owner, loop.body, invariant,
+                                            contributions)
+
+    # ------------------------------------------------------------------
+    def _lock_tokens(self, var, owner: str) -> FrozenSet[Token]:
+        out = set()
+        addr = self.values.eval_value(var, owner).single_exact()
+        if addr is not None:
+            out.add(("x", addr))
+        if isinstance(var, Param):
+            out.add(("r", var.index, var.offset))
+        return frozenset(out)
+
+    def _remove(self, tokens: FrozenSet[Token], var,
+                owner: str) -> FrozenSet[Token]:
+        """Drop every held token the unlocked variable *may* alias."""
+        fp = self.values.eval_value(var, owner)
+        kept = set()
+        for token in tokens:
+            if token[0] == "x":
+                if not fp.may_contain(token[1]):
+                    kept.add(token)
+            else:  # relative: same param + different offset is distinct
+                if (isinstance(var, Param) and var.index == token[1]
+                        and var.offset != token[2]):
+                    kept.add(token)
+        return frozenset(kept)

@@ -1,0 +1,246 @@
+"""Abstract values for the static race-freedom analysis.
+
+The analysis reasons about the addresses a TIR operand *may* resolve to
+without running the program.  A :class:`Footprint` over-approximates that
+set with four components:
+
+* **intervals** — closed ``[lo, hi]`` ranges of concrete addresses (globals
+  and other statically-known integers).  Unbounded ``Indexed`` walks are
+  clamped at the end of the containing address-space region, which encodes
+  the (checked-by-construction) assumption that TIR address arithmetic
+  never crosses a region boundary.
+* **tls** — the access goes through :class:`~repro.tir.addr.Tls`.  TLS
+  addresses are private to the executing thread by construction, so two TLS
+  footprints never alias *across* threads; they may alias an ``unknown``
+  footprint.
+* **heap sites** — the access reaches a heap block allocated at a given
+  ``Alloc`` PC.  Sites are split into *fresh* (reached through the
+  allocating frame's own slot) and *escaped* (reached through a value that
+  left the allocating frame via a ``Call``/``Fork`` argument).  Two fresh
+  references to the same site in different threads are necessarily
+  different blocks — each frame allocated its own — so a pair of accesses
+  conflicts on a site only when at least one side is escaped.
+* **unknown** — anything (top).  Overlaps everything, including TLS.
+
+Footprints form a join-semilattice; every operation over-approximates, so
+any imprecision makes the final verdicts strictly *more* conservative
+(fewer pruned PCs), never unsound.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..layout import HEAP_BASE, TLS_BASE
+
+__all__ = ["Footprint", "Verdict", "EMPTY", "UNKNOWN", "TLS_FOOTPRINT"]
+
+#: Cap on the number of disjoint intervals tracked per footprint; beyond it
+#: the list collapses to its convex hull (sound: the hull is a superset).
+_MAX_INTERVALS = 64
+
+#: Cap for interval ends in the thread-private region (no meaningful
+#: region above TLS to clamp against).
+_ADDR_CEILING = 1 << 62
+
+
+def _region_end(addr: int) -> int:
+    """Last address of the layout region containing ``addr``."""
+    if addr < HEAP_BASE:
+        return HEAP_BASE - 1
+    if addr < TLS_BASE:
+        return TLS_BASE - 1
+    return _ADDR_CEILING
+
+
+def _normalize(intervals) -> Tuple[Tuple[int, int], ...]:
+    """Sort, merge, and cap an interval list."""
+    if not intervals:
+        return ()
+    merged = []
+    for lo, hi in sorted(intervals):
+        if merged and lo <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    if len(merged) > _MAX_INTERVALS:
+        merged = [(merged[0][0], merged[-1][1])]
+    return tuple(tuple(pair) for pair in merged)
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """An over-approximation of the addresses an operand may denote."""
+
+    intervals: Tuple[Tuple[int, int], ...] = ()
+    tls: bool = False
+    heap_fresh: FrozenSet[int] = field(default_factory=frozenset)
+    heap_escaped: FrozenSet[int] = field(default_factory=frozenset)
+    unknown: bool = False
+
+    # -- constructors --------------------------------------------------
+    @staticmethod
+    def exact(addr: int) -> "Footprint":
+        return Footprint(intervals=((addr, addr),))
+
+    @staticmethod
+    def fresh_heap(alloc_pc: int) -> "Footprint":
+        return Footprint(heap_fresh=frozenset((alloc_pc,)))
+
+    # -- lattice operations --------------------------------------------
+    def join(self, other: "Footprint") -> "Footprint":
+        if self.unknown or other.unknown:
+            return UNKNOWN
+        return Footprint(
+            intervals=_normalize(self.intervals + other.intervals),
+            tls=self.tls or other.tls,
+            heap_fresh=self.heap_fresh | other.heap_fresh,
+            heap_escaped=self.heap_escaped | other.heap_escaped,
+        )
+
+    def shift(self, offset: int) -> "Footprint":
+        """The footprint of ``expr + offset``.
+
+        Offsets move interval endpoints; TLS stays TLS and heap blocks stay
+        the same block (offsets address fields within it).
+        """
+        if offset == 0 or self.unknown:
+            return self
+        return Footprint(
+            intervals=_normalize(
+                (lo + offset, hi + offset) for lo, hi in self.intervals
+            ),
+            tls=self.tls,
+            heap_fresh=self.heap_fresh,
+            heap_escaped=self.heap_escaped,
+        )
+
+    def widen(self, stride: int, count_bound: Optional[int]) -> "Footprint":
+        """The footprint of ``base + stride * i`` for ``0 <= i < count``.
+
+        ``count_bound`` of ``None`` means the trip count is not statically
+        known; interval ends are then clamped at the containing region's
+        boundary (the documented no-region-crossing assumption).
+        """
+        if self.unknown or stride == 0 or count_bound == 0:
+            return self
+        out = []
+        for lo, hi in self.intervals:
+            if count_bound is None:
+                if stride > 0:
+                    out.append((lo, _region_end(lo)))
+                else:
+                    # Walking downward: clamp at the region's start, which
+                    # conservatively is address 0 (regions are contiguous
+                    # from 0 for the purposes of over-approximation).
+                    out.append((0, hi))
+            else:
+                span = stride * (count_bound - 1)
+                if stride > 0:
+                    out.append((lo, hi + span))
+                else:
+                    out.append((lo + span, hi))
+        return Footprint(
+            intervals=_normalize(out),
+            tls=self.tls,
+            heap_fresh=self.heap_fresh,
+            heap_escaped=self.heap_escaped,
+        )
+
+    def escaped(self) -> "Footprint":
+        """This value after leaving its frame via a Call/Fork argument."""
+        if self.unknown or not self.heap_fresh:
+            return self
+        return Footprint(
+            intervals=self.intervals,
+            tls=self.tls,
+            heap_fresh=frozenset(),
+            heap_escaped=self.heap_escaped | self.heap_fresh,
+        )
+
+    # -- queries -------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return (not self.unknown and not self.tls and not self.intervals
+                and not self.heap_fresh and not self.heap_escaped)
+
+    def single_exact(self) -> Optional[int]:
+        """The one concrete address this footprint denotes, if any."""
+        if (self.unknown or self.tls or self.heap_fresh
+                or self.heap_escaped or len(self.intervals) != 1):
+            return None
+        lo, hi = self.intervals[0]
+        return lo if lo == hi else None
+
+    def max_exact(self) -> Optional[int]:
+        """An upper bound when the value is a plain bounded integer."""
+        if (self.unknown or self.tls or self.heap_fresh
+                or self.heap_escaped or not self.intervals):
+            return None
+        return self.intervals[-1][1]
+
+    def may_contain(self, addr: int) -> bool:
+        """May this footprint denote the concrete address ``addr``?"""
+        if self.unknown:
+            return True
+        return any(lo <= addr <= hi for lo, hi in self.intervals)
+
+    def conflicts(self, other: "Footprint") -> bool:
+        """May the two footprints denote the same address in *different*
+        threads?  (TLS never aliases cross-thread; two fresh references to
+        the same heap site are different blocks in different threads.)"""
+        if self.is_empty or other.is_empty:
+            return False
+        if self.unknown or other.unknown:
+            return True
+        if _intervals_overlap(self.intervals, other.intervals):
+            return True
+        mine = self.heap_fresh | self.heap_escaped
+        theirs = other.heap_fresh | other.heap_escaped
+        for site in mine & theirs:
+            both_fresh_only = (site in self.heap_fresh
+                               and site in other.heap_fresh
+                               and site not in self.heap_escaped
+                               and site not in other.heap_escaped)
+            if not both_fresh_only:
+                return True
+        return False
+
+
+def _intervals_overlap(a, b) -> bool:
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo_a, hi_a = a[i]
+        lo_b, hi_b = b[j]
+        if lo_a <= hi_b and lo_b <= hi_a:
+            return True
+        if hi_a < hi_b:
+            i += 1
+        else:
+            j += 1
+    return False
+
+
+EMPTY = Footprint()
+UNKNOWN = Footprint(unknown=True)
+TLS_FOOTPRINT = Footprint(tls=True)
+
+
+class Verdict(enum.Enum):
+    """Per-PC classification of a Read/Write instruction."""
+
+    #: Only ever touched by (at most) one thread at a time.
+    THREAD_LOCAL = "thread-local"
+    #: Shared, but every parallel access that can reach the same address
+    #: is a read.
+    READ_ONLY = "read-only"
+    #: Every potentially-racing parallel pair shares a common lock.
+    LOCK_DOMINATED = "lock-dominated"
+    #: Could not be proven safe; stays instrumented.
+    MAY_RACE = "may-race"
+
+    @property
+    def safe(self) -> bool:
+        return self is not Verdict.MAY_RACE

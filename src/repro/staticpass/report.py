@@ -1,0 +1,108 @@
+"""The :class:`StaticReport` artifact: verdicts, pairs, and cross-checks.
+
+The report is what every consumer of the static pass sees: per-PC verdicts
+for all memory operations, the surviving candidate racy PC pairs, and a
+:meth:`StaticReport.prune_set` that the instrumentation pass and executor
+use to drop logging for provably-safe accesses.
+
+Soundness contract (checked by :meth:`cross_check` and the
+``experiments.staticprune`` ablation): every race the dynamic detector can
+report — a pair of memory-op PCs — must appear in ``candidate_pairs``, and
+both PCs must carry the MAY_RACE verdict.  Only MAY_RACE PCs are ever
+instrumented away from, so a violation here would mean pruning could lose
+a race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..tir.program import Program
+from .model import Verdict
+
+__all__ = ["StaticReport"]
+
+
+@dataclass
+class StaticReport:
+    """Result of :func:`repro.staticpass.analyze` for one program."""
+
+    program_name: str
+    #: Verdict per Read/Write PC.
+    verdicts: Dict[int, Verdict]
+    #: Sorted ``(pc, pc)`` pairs that may race (superset of anything the
+    #: dynamic detector can ever report).
+    candidate_pairs: FrozenSet[Tuple[int, int]]
+    #: Human-readable ``function+offset`` per analyzed PC.
+    symbols: Dict[int, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def prune_set(self) -> FrozenSet[int]:
+        """Memory-op PCs that are provably race-free (safe to not log)."""
+        return frozenset(pc for pc, verdict in self.verdicts.items()
+                         if verdict.safe)
+
+    @property
+    def num_memory_pcs(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def num_pruned(self) -> int:
+        return len(self.prune_set())
+
+    def histogram(self) -> Dict[Verdict, int]:
+        counts = {verdict: 0 for verdict in Verdict}
+        for verdict in self.verdicts.values():
+            counts[verdict] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def cross_check(self, race_pairs) -> List[Tuple[int, int]]:
+        """Compare against dynamically-detected races.
+
+        ``race_pairs`` is an iterable of sorted ``(pc, pc)`` race keys from
+        the dynamic detector (e.g. ``RaceReport.static_races``).  Returns
+        the pairs the static pass wrongly ruled out — empty iff the pass
+        was sound on this run.
+        """
+        missed = []
+        for pair in race_pairs:
+            low, high = min(pair), max(pair)
+            if (low, high) not in self.candidate_pairs:
+                missed.append((low, high))
+                continue
+            if self.verdicts.get(low, Verdict.MAY_RACE).safe or \
+                    self.verdicts.get(high, Verdict.MAY_RACE).safe:
+                missed.append((low, high))
+        return missed
+
+    def check_planted(self, program: Program) -> List[Tuple[int, int]]:
+        """Planted ground-truth races the static pass wrongly ruled out."""
+        pairs = [key for race in program.planted_races for key in race.keys]
+        return self.cross_check(pairs)
+
+    # ------------------------------------------------------------------
+    def render(self, max_pairs: int = 12) -> str:
+        """A short human-readable summary."""
+        counts = self.histogram()
+        total = self.num_memory_pcs
+        lines = [
+            f"static race-freedom analysis: {self.program_name}",
+            f"  memory-op sites : {total}",
+        ]
+        for verdict in Verdict:
+            count = counts[verdict]
+            share = (100.0 * count / total) if total else 0.0
+            lines.append(f"  {verdict.value:<15}: {count:>4}  "
+                         f"({share:5.1f}%)")
+        lines.append(f"  prunable sites  : {self.num_pruned} of {total}")
+        pairs = sorted(self.candidate_pairs)
+        lines.append(f"  candidate racy pairs: {len(pairs)}")
+        for low, high in pairs[:max_pairs]:
+            first = self.symbols.get(low, f"pc{low}")
+            second = self.symbols.get(high, f"pc{high}")
+            lines.append(f"    {first} <-> {second}")
+        if len(pairs) > max_pairs:
+            lines.append(f"    ... and {len(pairs) - max_pairs} more")
+        return "\n".join(lines)

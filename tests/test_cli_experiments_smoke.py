@@ -32,7 +32,8 @@ def test_all_command_parallel_smoke(tmp_path):
 
     # Every artifact made it into the combined report.
     for marker in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
-                   "Figure 4", "Figure 5", "Figure 6", "Ablation"):
+                   "Figure 4", "Figure 5", "Figure 6", "Ablation",
+                   "Static-pruning soundness ablation", "SOUNDNESS: PASS"):
         assert marker in proc.stdout, f"missing {marker!r} in output"
 
     # The engine narrated its cells on stderr and actually computed them.

@@ -1,11 +1,13 @@
 """Tests for the instrumentation pass (Figure 3) and loop splitting (§7)."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.instrument import clone_function, instrument, split_loops
 from repro.core.literace import LiteRace, run_baseline
 from repro.tir import ops
-from repro.tir.addr import Indexed, Param
+from repro.tir.addr import HeapSlot, Indexed, Param, Tls
 from repro.tir.builder import ProgramBuilder
 from repro.workloads.parsec_like import build_parsec_like
 
@@ -46,6 +48,95 @@ class TestClone:
         loop_copy = copy.body[1]
         assert loop_copy is not loop_orig
         assert loop_copy.body[0] is not loop_orig.body[0]
+
+
+def all_ops_program():
+    """One program exercising every one of the 15 instruction types."""
+    b = ProgramBuilder("allops")
+    x = b.global_addr("x")
+    lk = b.global_addr("lk")
+    ev = b.global_addr("ev")
+    with b.function("callee", params=2) as f:
+        f.read(Param(0))
+        f.write(Param(1, 8))
+    with b.function("worker", params=1, slots=1) as f:
+        f.lock(lk, via_cas=True)
+        f.read(Tls(16))
+        f.unlock(lk, via_cas=True)
+        f.atomic_rmw(x)
+        f.io(Param(0))
+        f.alloc(64, 0)
+        with f.loop(4):
+            f.write(HeapSlot(0, 8))
+            f.read(Indexed(x, 8, 0))
+            f.compute(3)
+        f.call("callee", HeapSlot(0), x)
+        f.free(0)
+        f.wait(ev, consume=False)
+        f.notify(ev)
+    with b.function("main", slots=1) as f:
+        f.fork("worker", 7, tid_slot=0)
+        f.join(0)
+    return b.build(entry="main")
+
+
+def assert_structurally_equal(a, b, where=""):
+    """Every dataclass field equal, recursing into nested instructions."""
+    assert type(a) is type(b), where
+    assert a is not b, where
+    for f in dataclasses.fields(a):
+        va = getattr(a, f.name)
+        vb = getattr(b, f.name)
+        _assert_value_equal(va, vb, f"{where}{type(a).__name__}.{f.name}")
+
+
+def _assert_value_equal(va, vb, where):
+    if isinstance(va, ops.Instr):
+        assert_structurally_equal(va, vb, where + " -> ")
+    elif isinstance(va, tuple):
+        assert isinstance(vb, tuple) and len(va) == len(vb), where
+        for ea, eb in zip(va, vb):
+            _assert_value_equal(ea, eb, where + "[]")
+    else:
+        assert va == vb, f"{where}: {va!r} != {vb!r}"
+
+
+class TestCloneFieldFidelity:
+    def test_via_cas_survives_cloning(self):
+        # Regression: _clone_instr used to rebuild Lock/Unlock without the
+        # via_cas flag, silently downgrading user-level CAS locks in the
+        # instrumented clone (breaking the §4.2 atomic-timestamp handling).
+        b = ProgramBuilder("cas")
+        lk = b.global_addr("lk")
+        with b.function("main") as f:
+            f.lock(lk, via_cas=True)
+            f.unlock(lk, via_cas=True)
+        program = b.build(entry="main")
+        copy = clone_function(program.function("main"), "$instr")
+        lock, unlock = copy.body
+        assert isinstance(lock, ops.Lock) and lock.via_cas
+        assert isinstance(unlock, ops.Unlock) and unlock.via_cas
+
+    def test_round_trip_preserves_every_field(self):
+        # Property: for every instruction type, the clone is a distinct
+        # object whose every field (pc included, nested loop bodies
+        # recursively) is structurally equal to the original's.
+        program = all_ops_program()
+        seen = set()
+        for name in program.functions:
+            original = program.function(name)
+            copy = clone_function(original, "$x")
+            orig_instrs = list(original.instructions())
+            copy_instrs = list(copy.instructions())
+            assert len(orig_instrs) == len(copy_instrs)
+            for a, c in zip(orig_instrs, copy_instrs):
+                seen.add(type(a))
+                assert_structurally_equal(a, c)
+        instr_types = {ops.Read, ops.Write, ops.Compute, ops.Io, ops.Lock,
+                       ops.Unlock, ops.Wait, ops.Notify, ops.Fork, ops.Join,
+                       ops.AtomicRMW, ops.Alloc, ops.Free, ops.Call,
+                       ops.Loop}
+        assert seen == instr_types  # the property covered all 15 types
 
 
 class TestInstrumentPass:

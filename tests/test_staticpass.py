@@ -1,0 +1,346 @@
+"""Tests for the static race-freedom analysis (:mod:`repro.staticpass`).
+
+Unit tests pin down each sub-analysis (thread-escape, must-lockset,
+read-only sharing) on purpose-built programs; the end-to-end tests assert
+the soundness contract on every bundled workload: a planted race is never
+classified safe, and a Full-logging run with pruning on reports exactly
+the races the un-pruned oracle reports.
+"""
+
+import pytest
+
+from repro.core.instrument import instrument
+from repro.core.literace import LiteRace
+from repro.staticpass import Verdict, analyze
+from repro.tir.addr import HeapSlot, Param, Tls
+from repro.tir.builder import ProgramBuilder
+from repro.workloads.patterns import RacePlan, RacyHelper
+from repro import workloads
+
+
+def two_workers(b, worker="worker", args=((), ())):
+    """Emit a main that forks ``worker`` once per args tuple and joins."""
+    with b.function("main", slots=len(args)) as f:
+        for slot, a in enumerate(args):
+            f.fork(worker, *a, tid_slot=slot)
+        for slot in range(len(args)):
+            f.join(slot)
+    return b.build(entry="main")
+
+
+class TestEscape:
+    def test_tls_accesses_are_thread_local(self):
+        b = ProgramBuilder("tls")
+        with b.function("worker") as f:
+            r = f.read(Tls(0))
+            w = f.write(Tls(0))
+        report = analyze(two_workers(b))
+        assert report.verdicts[r.pc] == Verdict.THREAD_LOCAL
+        assert report.verdicts[w.pc] == Verdict.THREAD_LOCAL
+
+    def test_no_forks_means_everything_safe(self):
+        b = ProgramBuilder("solo")
+        x = b.global_addr("x")
+        with b.function("main") as f:
+            f.write(x)
+            f.read(x)
+        report = analyze(b.build(entry="main"))
+        assert all(v.safe for v in report.verdicts.values())
+        assert not report.candidate_pairs
+
+    def test_shared_write_in_two_threads_may_race(self):
+        b = ProgramBuilder("shared")
+        x = b.global_addr("x")
+        with b.function("worker") as f:
+            w = f.write(x)
+        report = analyze(two_workers(b))
+        assert report.verdicts[w.pc] == Verdict.MAY_RACE
+        assert (w.pc, w.pc) in report.candidate_pairs
+
+    def test_fork_ordered_initialization_is_safe(self):
+        # main writes the table before any fork: the FORK edge orders the
+        # write before every worker read, so neither side may race.
+        b = ProgramBuilder("init")
+        x = b.global_addr("x")
+        with b.function("worker") as f:
+            r = f.read(x)
+        with b.function("main", slots=2) as f:
+            w = f.write(x)
+            f.fork("worker", tid_slot=0)
+            f.fork("worker", tid_slot=1)
+            f.join(0)
+            f.join(1)
+        report = analyze(b.build(entry="main"))
+        assert report.verdicts[w.pc].safe
+        assert report.verdicts[r.pc].safe
+
+    def test_write_between_forks_is_not_ordered(self):
+        b = ProgramBuilder("mid")
+        x = b.global_addr("x")
+        with b.function("worker") as f:
+            r = f.read(x)
+        with b.function("main", slots=2) as f:
+            f.fork("worker", tid_slot=0)
+            w = f.write(x)  # concurrent with worker 0
+            f.fork("worker", tid_slot=1)
+            f.join(0)
+            f.join(1)
+        report = analyze(b.build(entry="main"))
+        assert report.verdicts[w.pc] == Verdict.MAY_RACE
+        assert report.verdicts[r.pc] == Verdict.MAY_RACE
+
+    def test_fork_in_loop_races_against_itself(self):
+        b = ProgramBuilder("pool")
+        x = b.global_addr("x")
+        with b.function("worker") as f:
+            w = f.write(x)
+        with b.function("main") as f:
+            with f.loop(4):
+                f.fork("worker")
+        report = analyze(b.build(entry="main"))
+        assert report.verdicts[w.pc] == Verdict.MAY_RACE
+        assert (w.pc, w.pc) in report.candidate_pairs
+
+    def test_fresh_heap_block_is_thread_local(self):
+        b = ProgramBuilder("fresh")
+        with b.function("worker", slots=1) as f:
+            f.alloc(64, 0)
+            w = f.write(HeapSlot(0))
+            r = f.read(HeapSlot(0, 8))
+            f.free(0)
+        report = analyze(two_workers(b))
+        assert report.verdicts[w.pc].safe
+        assert report.verdicts[r.pc].safe
+
+    def test_escaped_heap_block_may_race(self):
+        b = ProgramBuilder("escaped")
+        with b.function("worker", params=1) as f:
+            w = f.write(Param(0))
+        with b.function("main", slots=2) as f:
+            f.alloc(64, 0)
+            f.fork("worker", HeapSlot(0), tid_slot=0)
+            f.fork("worker", HeapSlot(0), tid_slot=1)
+            f.join(0)
+            f.join(1)
+            f.free(0)
+        report = analyze(b.build(entry="main"))
+        assert report.verdicts[w.pc] == Verdict.MAY_RACE
+
+
+class TestLockset:
+    def make_locked(self, via_cas=False):
+        b = ProgramBuilder("locked")
+        x = b.global_addr("x")
+        lk = b.global_addr("lk")
+        with b.function("worker") as f:
+            f.lock(lk, via_cas=via_cas)
+            r = f.read(x)
+            w = f.write(x)
+            f.unlock(lk, via_cas=via_cas)
+        return two_workers(b), r, w
+
+    def test_consistently_locked_update_is_lock_dominated(self):
+        program, r, w = self.make_locked()
+        report = analyze(program)
+        assert report.verdicts[r.pc] == Verdict.LOCK_DOMINATED
+        assert report.verdicts[w.pc] == Verdict.LOCK_DOMINATED
+
+    def test_cas_built_lock_still_counts(self):
+        program, r, w = self.make_locked(via_cas=True)
+        report = analyze(program)
+        assert report.verdicts[r.pc] == Verdict.LOCK_DOMINATED
+        assert report.verdicts[w.pc] == Verdict.LOCK_DOMINATED
+
+    def test_one_sided_locking_may_race(self):
+        b = ProgramBuilder("one-sided")
+        x = b.global_addr("x")
+        lk = b.global_addr("lk")
+        with b.function("worker") as f:
+            f.lock(lk)
+            w1 = f.write(x)
+            f.unlock(lk)
+        with b.function("rogue") as f:
+            w2 = f.write(x)
+        with b.function("main", slots=2) as f:
+            f.fork("worker", tid_slot=0)
+            f.fork("rogue", tid_slot=1)
+            f.join(0)
+            f.join(1)
+        report = analyze(b.build(entry="main"))
+        assert report.verdicts[w1.pc] == Verdict.MAY_RACE
+        assert report.verdicts[w2.pc] == Verdict.MAY_RACE
+        low, high = sorted((w1.pc, w2.pc))
+        assert (low, high) in report.candidate_pairs
+
+    def test_atomic_rmw_confers_no_exclusion(self):
+        b = ProgramBuilder("rmw")
+        x = b.global_addr("x")
+        with b.function("worker") as f:
+            f.atomic_rmw(x)
+            w = f.write(x)
+        report = analyze(two_workers(b))
+        assert report.verdicts[w.pc] == Verdict.MAY_RACE
+
+    def test_lock_per_object_relative_tokens(self):
+        # Two threads update different objects through one helper; the
+        # helper's param footprint covers both objects (so they *conflict*
+        # statically), but lock(Param(0)) at a fixed offset from the data
+        # is a common lock on every aliasing instance.
+        b = ProgramBuilder("rel")
+        o1 = b.global_addr("o1")
+        o2 = b.global_addr("o2")
+        with b.function("upd", params=1) as f:
+            f.lock(Param(0))
+            r = f.read(Param(0, 8))
+            w = f.write(Param(0, 8))
+            f.unlock(Param(0))
+        with b.function("worker", params=1) as f:
+            with f.loop(4):
+                f.call("upd", Param(0))
+        program = two_workers(b, args=((o1,), (o2,)))
+        report = analyze(program)
+        assert report.verdicts[r.pc] == Verdict.LOCK_DOMINATED
+        assert report.verdicts[w.pc] == Verdict.LOCK_DOMINATED
+
+    def test_unknown_release_in_callee_clears_locksets(self):
+        # A callee that may release an unresolvable lock address forces the
+        # analysis to drop every held token across the call — the access
+        # after the call is no longer provably protected.
+        b = ProgramBuilder("chaos")
+        x = b.global_addr("x")
+        lk = b.global_addr("lk")
+        o1 = b.global_addr("o1")
+        o2 = b.global_addr("o2")
+        with b.function("maybe_release", params=1) as f:
+            f.unlock(Param(0))
+        with b.function("worker", params=1) as f:
+            f.lock(lk)
+            f.call("maybe_release", Param(0))
+            w = f.write(x)
+            f.unlock(lk)
+        program = two_workers(b, args=((o1,), (o2,)))
+        report = analyze(program)
+        assert report.verdicts[w.pc] == Verdict.MAY_RACE
+
+    def test_lock_inside_loop_does_not_cover_code_after_it(self):
+        b = ProgramBuilder("loop-lock")
+        x = b.global_addr("x")
+        lk = b.global_addr("lk")
+        with b.function("worker") as f:
+            with f.loop(3):
+                f.lock(lk)
+                inner = f.write(x)
+                f.unlock(lk)
+            outer = f.write(x)
+        report = analyze(two_workers(b))
+        assert report.verdicts[inner.pc] == Verdict.MAY_RACE  # races outer
+        assert report.verdicts[outer.pc] == Verdict.MAY_RACE
+
+
+class TestReadOnly:
+    def test_shared_reads_are_read_only(self):
+        b = ProgramBuilder("table")
+        t = b.global_addr("t")
+        with b.function("worker") as f:
+            r = f.read(t)
+        report = analyze(two_workers(b))
+        assert report.verdicts[r.pc] == Verdict.READ_ONLY
+
+    def test_adding_a_writer_demotes_the_readers(self):
+        b = ProgramBuilder("table")
+        t = b.global_addr("t")
+        with b.function("worker") as f:
+            r = f.read(t)
+            w = f.write(t)
+        report = analyze(two_workers(b))
+        assert report.verdicts[r.pc] == Verdict.MAY_RACE
+        assert report.verdicts[w.pc] == Verdict.MAY_RACE
+
+
+class TestReportAndPruning:
+    def racy_program(self):
+        b = ProgramBuilder("mix")
+        x = b.global_addr("x")
+        with b.function("worker") as f:
+            self.racy = f.write(x)
+            self.local = f.write(Tls(0))
+            self.lock = f.lock(x + 64)
+            f.unlock(x + 64)
+        return two_workers(b)
+
+    def test_prune_set_excludes_may_race(self):
+        program = self.racy_program()
+        report = analyze(program)
+        prune = report.prune_set()
+        assert self.racy.pc not in prune
+        assert self.local.pc in prune
+        assert report.num_pruned == len(prune)
+        assert report.num_memory_pcs == 2
+
+    def test_instrument_rejects_sync_pcs_in_prune_set(self):
+        program = self.racy_program()
+        with pytest.raises(ValueError, match="sync ops"):
+            instrument(program, prune_pcs=frozenset({self.lock.pc}))
+
+    def test_instrument_accepts_the_analysis_prune_set(self):
+        program = self.racy_program()
+        rewritten = instrument(program,
+                               prune_pcs=analyze(program).prune_set())
+        assert rewritten.num_pruned_sites == 1
+
+    def test_render_mentions_the_essentials(self):
+        report = analyze(self.racy_program())
+        text = report.render()
+        assert "mix" in text
+        assert "candidate racy pairs" in text
+        assert "prunable sites" in text
+
+    def test_histogram_counts_every_site(self):
+        report = analyze(self.racy_program())
+        assert sum(report.histogram().values()) == report.num_memory_pcs
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", workloads.race_eval_names())
+    def test_planted_races_never_classified_safe(self, name):
+        program = workloads.build(name, seed=1, scale=0.05)
+        report = analyze(program)
+        assert report.check_planted(program) == []
+
+    def test_racy_helper_sites_never_safe(self):
+        b = ProgramBuilder("helper")
+        plan = RacePlan()
+        helper = RacyHelper(b, plan, "h")
+        with b.function("worker") as f:
+            helper.call_shared(f)
+        with b.function("main", slots=2) as f:
+            helper.call_private(f, "warm")  # hot on private data
+            f.fork("worker", tid_slot=0)
+            f.fork("worker", tid_slot=1)
+            f.join(0)
+            f.join(1)
+        program = plan.attach(b.build(entry="main"))
+        report = analyze(program)
+        assert report.check_planted(program) == []
+
+    def test_pruned_full_run_reports_identical_races(self):
+        program = workloads.build("apache-1", seed=1, scale=0.05)
+        oracle = LiteRace(sampler="Full", seed=1).run(program)
+        pruned = LiteRace(sampler="Full", seed=1,
+                          static_prune=True).run(program)
+        assert pruned.report.static_races == oracle.report.static_races
+        assert pruned.run.pruned_memory_ops > 0
+        # every executed memory op is either logged or counted as pruned
+        assert (pruned.log.memory_count + pruned.run.pruned_memory_ops
+                == oracle.log.memory_count)
+        assert pruned.static_report is not None
+        assert oracle.static_report is None
+
+    def test_cli_staticpass_all(self):
+        from repro.__main__ import main
+        assert main(["staticpass", "--all", "--scale", "0.05"]) == 0
+
+    def test_cli_staticpass_check(self):
+        from repro.__main__ import main
+        assert main(["staticpass", "synthetic", "--check",
+                     "--scale", "0.2"]) == 0
