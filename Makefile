@@ -3,18 +3,23 @@
 # wired into tier-1 via tests/test_cli_experiments_smoke.py; staticpass
 # cross-checks the static race-freedom analysis against the dynamic
 # oracle on every workload (exit 1 on any soundness violation) and is
-# wired into tier-1 via tests/test_staticpass.py.
+# wired into tier-1 via tests/test_staticpass.py; serve-smoke drives the
+# telemetry daemon CLI (serve/submit/status) end to end and is wired into
+# tier-1 via tests/test_service_smoke.py.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke staticpass bench artifacts clean-cache
+.PHONY: test smoke serve-smoke staticpass bench artifacts clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 smoke:
 	$(PYTHON) -m repro.experiments all --scale 0.1 --jobs 2
+
+serve-smoke:
+	$(PYTHON) -m pytest tests/test_service_smoke.py -q
 
 staticpass:
 	$(PYTHON) -m repro staticpass --all --check --scale 0.2

@@ -6,6 +6,13 @@ Examples::
     python -m repro run dryad --sampler Full --scale 0.2
     python -m repro compare firefox-render --seeds 1,2
     python -m repro list
+
+Telemetry service (fleet-style central triage)::
+
+    python -m repro serve --unix /tmp/literace.sock --workers 4
+    python -m repro submit run1.ltrc --connect unix:/tmp/literace.sock
+    python -m repro run apache-1 --telemetry unix:/tmp/literace.sock
+    python -m repro status --connect unix:/tmp/literace.sock --report
 """
 
 from __future__ import annotations
@@ -44,7 +51,21 @@ def _cmd_run(args) -> int:
     tool = LiteRace(sampler=args.sampler, seed=args.seed,
                     num_counters=args.counters,
                     static_prune=args.static_prune)
-    result = tool.run(program)
+    sink = None
+    telemetry_client = None
+    if args.telemetry:
+        from .service import TelemetryClient, TelemetrySink
+
+        telemetry_client = TelemetryClient(args.telemetry)
+        sink = TelemetrySink(telemetry_client,
+                             name=f"{program.name}/seed{args.seed}")
+    result = tool.run(program, sink=sink)
+    if sink is not None:
+        ack = sink.close()
+        telemetry_client.close()
+        print(f"telemetry: streamed {sink.events_sent:,} events in "
+              f"{sink.segments_sent} segment(s) to {args.telemetry}; "
+              f"server reports {ack.get('races', 0)} race(s) for this run")
     if result.static_report is not None:
         static = result.static_report
         print(f"static pruning: {static.num_pruned} of "
@@ -163,6 +184,116 @@ def _cmd_staticpass(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the race-telemetry daemon until SHUTDOWN or Ctrl-C."""
+    from .service import TelemetryServer
+
+    addresses = []
+    if args.unix:
+        addresses.append(f"unix:{args.unix}")
+    if args.tcp:
+        addresses.append(f"tcp:{args.tcp}")
+    if not addresses:
+        print("serve: pass --unix PATH and/or --tcp HOST:PORT",
+              file=sys.stderr)
+        return 2
+
+    program = None
+    if args.workload:
+        program = workloads.build(args.workload, seed=args.seed,
+                                  scale=args.scale)
+    suppressions = None
+    if args.suppressions:
+        from .core.suppressions import SuppressionList
+
+        with open(args.suppressions) as handle:
+            suppressions = SuppressionList.parse(handle.read())
+
+    server = TelemetryServer(
+        addresses,
+        workers=args.workers,
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        state_dir=args.state_dir,
+        program=program,
+        suppressions=suppressions,
+    )
+    server.start()
+    print(f"telemetry server listening on {', '.join(server.addresses)} — "
+          f"{args.workers} worker(s), {server.num_shards} shard(s)",
+          flush=True)
+    server.serve_forever()
+    print("telemetry server stopped")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Stream a saved log to a running telemetry server."""
+    from .eventlog.store import load_log
+    from .service import TelemetryClient
+
+    log = load_log(args.log)
+    with TelemetryClient(args.connect) as client:
+        result = client.submit_log(
+            log,
+            name=args.name or args.log,
+            segment_events=args.segment_events,
+            compress=args.compress,
+        )
+    print(f"submitted {args.log}: {result.events:,} events in "
+          f"{result.segments} segment(s), {result.bytes_sent:,} bytes on "
+          f"the wire; server found {result.races} race(s) in this log")
+    if result.merge_inconsistencies:
+        print(f"WARNING  : {result.merge_inconsistencies} timestamp "
+              f"inconsistencies during order reconstruction")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    """Query a running telemetry server's counters (and report)."""
+    import json
+
+    from .service import TelemetryClient
+
+    with TelemetryClient(args.connect) as client:
+        status = client.status()
+        report = client.report() if args.report else None
+        if args.shutdown:
+            client.shutdown_server()
+
+    if args.json:
+        payload = {"status": status}
+        if report is not None:
+            payload["report"] = report
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print("telemetry server status")
+    print("=======================")
+    for key in sorted(status):
+        if key != "shard_lag":
+            print(f"{key:18}: {status[key]}")
+    lag = status.get("shard_lag", {})
+    if lag:
+        rendered = ", ".join(f"s{k}={v}" for k, v in sorted(lag.items()))
+        print(f"{'shard_lag':18}: {rendered}")
+    if report is not None:
+        print(f"\nfleet report: {report['num_static']} static race(s), "
+              f"{report['num_dynamic']} dynamic occurrence(s) across "
+              f"{report['clients_completed']} completed client(s)"
+              + (f", {report['suppressed']} suppressed"
+                 if report.get("suppressed") else ""))
+        for row in report["report"]["races"]:
+            symbols = row.get("symbols")
+            where = (f"{symbols[0]} <-> {symbols[1]}" if symbols
+                     else f"pcs ({row['pcs'][0]}, {row['pcs'][1]})")
+            print(f"  {where}  seen {row['count']}x  "
+                  f"e.g. addr {row['example']['addr']:#x}")
+    if args.shutdown:
+        print("\nshutdown requested")
+    return 0
+
+
 def _cmd_compare(args) -> int:
     seeds = tuple(int(s) for s in args.seeds.split(",") if s)
     samplers = list(SAMPLER_ORDER)
@@ -223,6 +354,9 @@ def main(argv=None) -> int:
     run_p.add_argument("--static-prune", action="store_true",
                        help="skip logging for accesses the static pass "
                             "proves race-free (repro.staticpass)")
+    run_p.add_argument("--telemetry", default=None, metavar="ADDR",
+                       help="stream events live to a telemetry server "
+                            "(unix:PATH or tcp:HOST:PORT)")
 
     sp_p = sub.add_parser(
         "staticpass",
@@ -250,10 +384,61 @@ def main(argv=None) -> int:
     cmp_p.add_argument("--seeds", default="1")
     cmp_p.add_argument("--scale", type=float, default=1.0)
 
+    serve_p = sub.add_parser(
+        "serve", help="run the race-telemetry daemon (sharded streaming "
+                      "detection over fleet-submitted logs)")
+    serve_p.add_argument("--unix", default=None, metavar="PATH",
+                         help="listen on this Unix socket")
+    serve_p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                         help="listen on this TCP endpoint")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="detector worker processes (default 2)")
+    serve_p.add_argument("--shards", type=int, default=None,
+                         help="address-range shards (default: one per "
+                              "worker)")
+    serve_p.add_argument("--queue-depth", type=int, default=64,
+                         help="bounded ingest queue length — the "
+                              "backpressure knob (default 64)")
+    serve_p.add_argument("--state-dir", default=None,
+                         help="persist the rolling fleet report here and "
+                              "reload it on restart")
+    serve_p.add_argument("--workload", default=None,
+                         help="symbolize report PCs against this workload's "
+                              "program")
+    serve_p.add_argument("--seed", type=int, default=1)
+    serve_p.add_argument("--scale", type=float, default=1.0)
+    serve_p.add_argument("--suppressions", default=None,
+                         help="known-benign races to drop from the fleet "
+                              "report (needs --workload)")
+
+    submit_p = sub.add_parser(
+        "submit", help="stream a saved event log to a telemetry server")
+    submit_p.add_argument("log", help="a .ltrc file written by run --log-out")
+    submit_p.add_argument("--connect", required=True, metavar="ADDR",
+                          help="server address (unix:PATH or tcp:HOST:PORT)")
+    submit_p.add_argument("--name", default=None,
+                          help="client name shown in server accounting")
+    submit_p.add_argument("--segment-events", type=int, default=512,
+                          help="events per wire segment (default 512)")
+    submit_p.add_argument("--compress", action="store_true",
+                          help="zlib-compress segment payloads")
+
+    status_p = sub.add_parser(
+        "status", help="query a telemetry server's counters and report")
+    status_p.add_argument("--connect", required=True, metavar="ADDR",
+                          help="server address (unix:PATH or tcp:HOST:PORT)")
+    status_p.add_argument("--report", action="store_true",
+                          help="also fetch the deduped fleet race report")
+    status_p.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    status_p.add_argument("--shutdown", action="store_true",
+                          help="ask the server to shut down afterwards")
+
     args = parser.parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run,
                "analyze": _cmd_analyze, "compare": _cmd_compare,
-               "staticpass": _cmd_staticpass}
+               "staticpass": _cmd_staticpass, "serve": _cmd_serve,
+               "submit": _cmd_submit, "status": _cmd_status}
     return handler[args.command](args)
 
 

@@ -197,10 +197,16 @@ class LiteRace:
 
     # -- end to end -----------------------------------------------------------
     def run(self, program: Program,
-            scheduler: Optional[Scheduler] = None) -> AnalysisResult:
-        """Profile ``program`` and analyze its log offline."""
+            scheduler: Optional[Scheduler] = None,
+            sink=None) -> AnalysisResult:
+        """Profile ``program`` and analyze its log offline.
+
+        ``sink`` is forwarded to :meth:`profile` — an online detector or a
+        :class:`~repro.service.client.TelemetrySink` receives every logged
+        event live, in addition to the offline analysis below.
+        """
         static_report = self.static_report(program)
-        run, log = self.profile(program, scheduler,
+        run, log = self.profile(program, scheduler, sink=sink,
                                 static_report=static_report)
         report, inconsistencies = self.analyze_log(log)
         return AnalysisResult(

@@ -17,6 +17,12 @@ from .events import (
     SyncVar,
 )
 from .log import EventLog
+from .segment import (
+    SEGMENT_VERSION,
+    decode_segment,
+    encode_segment,
+    split_log,
+)
 from .store import load_log, save_log
 from .writer import StreamingLogWriter
 
@@ -35,6 +41,10 @@ __all__ = [
     "encode_log",
     "decode_log",
     "encoded_size",
+    "SEGMENT_VERSION",
+    "encode_segment",
+    "decode_segment",
+    "split_log",
     "MEMORY_EVENT_BYTES",
     "SYNC_EVENT_BYTES",
 ]

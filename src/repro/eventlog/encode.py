@@ -16,6 +16,13 @@ Wire format (little-endian):
 * Sync event: kind byte (2 + SyncKind index) + var-domain byte + var-id u32
   + timestamp u32 + pc u32 — 14 bytes, the "memory addresses of the
   synchronization variables along with their timestamps".
+
+That layout is **version 1**.  **Version 2** (the telemetry-service format,
+:mod:`repro.eventlog.segment`) replaces the per-thread sections with framed
+*segments* carrying the event stream in processing order, with optional
+zlib compression; the file header is unchanged except that the count field
+holds the number of segments.  :func:`decode_log` reads both versions;
+:func:`encode_log` writes v1 by default and v2 on request.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ __all__ = [
 
 _MAGIC = b"LTRC"
 _VERSION = 1
+_VERSION_SEGMENTED = 2
 
 MEMORY_EVENT_BYTES = 9
 SYNC_EVENT_BYTES = 14
@@ -62,8 +70,31 @@ def _decode_pc(raw: int) -> int:
     return -1 if raw == _PC_NONE else raw
 
 
-def encode_log(log: EventLog) -> bytes:
-    """Serialize ``log`` to its on-disk representation."""
+def encode_log(log: EventLog, *, version: int = 1,
+               compress: bool = False,
+               segment_events: int = 4096) -> bytes:
+    """Serialize ``log`` to its on-disk representation.
+
+    ``version=1`` (the default) writes the per-thread-section layout;
+    ``compress`` is rejected there because v1 readers predate it.
+    ``version=2`` writes framed segments preserving the global stream
+    order, optionally zlib-compressed, ``segment_events`` per frame.
+    """
+    if version == _VERSION_SEGMENTED:
+        from .segment import split_log
+
+        frames = split_log(log, segment_events=segment_events,
+                           compress=compress)
+        if len(frames) > 0xFFFF:
+            raise ValueError("too many segments for one file; "
+                             "raise segment_events")
+        parts = [_HEADER.pack(_MAGIC, _VERSION_SEGMENTED, len(frames))]
+        parts.extend(frames)
+        return b"".join(parts)
+    if version != _VERSION:
+        raise ValueError(f"unknown log version {version}")
+    if compress:
+        raise ValueError("compression requires version=2")
     streams = log.per_thread()
     parts: List[bytes] = [_HEADER.pack(_MAGIC, _VERSION, len(streams))]
     for tid in sorted(streams):
@@ -91,13 +122,32 @@ def encode_log(log: EventLog) -> bytes:
 def decode_log(data: bytes) -> EventLog:
     """Parse bytes produced by :func:`encode_log` back into an event log.
 
-    Per-thread program order is preserved; the interleaving *between*
-    threads is not on the wire (it never is, for a real tool) — the offline
-    detector reconstructs it from timestamps.
+    Both versions are read.  For v1, per-thread program order is preserved
+    but the interleaving *between* threads is not on the wire (it never is,
+    for a real tool) — the offline detector reconstructs it from
+    timestamps.  For v2 the segment stream order *is* the interleaving the
+    producer saw, and it survives the round trip.
     """
     magic, version, section_count = _HEADER.unpack_from(data, 0)
     if magic != _MAGIC:
         raise ValueError("not a LiteRace log (bad magic)")
+    if version == _VERSION_SEGMENTED:
+        from .segment import decode_segment
+
+        log = EventLog()
+        offset = _HEADER.size
+        for _ in range(section_count):
+            events, offset = decode_segment(data, offset)
+            for event in events:
+                if isinstance(event, MemoryEvent):
+                    log.append_memory(event.tid, event.addr, event.pc,
+                                      event.is_write)
+                else:
+                    log.append_sync(event.tid, event.kind, event.var,
+                                    event.timestamp, event.pc)
+        if offset != len(data):
+            raise ValueError("trailing bytes after last segment")
+        return log
     if version != _VERSION:
         raise ValueError(f"unsupported log version {version}")
     offset = _HEADER.size

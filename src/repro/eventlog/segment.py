@@ -1,0 +1,166 @@
+"""Framed log *segments*: the version-2 wire format (telemetry service).
+
+The version-1 format of :mod:`repro.eventlog.encode` serializes a finished
+log as per-thread sections — the right shape for a file written once at the
+end of a run, but useless for *streaming*: a client shipping events off the
+machine while the run is live cannot know section sizes up front, and the
+telemetry server wants to analyze events incrementally, not after the run.
+
+A **segment** is the streaming unit: a self-delimiting frame holding a slice
+of the event stream *in processing order* (each event carries its tid
+explicitly, so the interleaving survives the wire — unlike v1, which only
+preserves per-thread program order).  Producers guarantee that the
+concatenation of a client's segments is a valid happens-before processing
+order: either the true temporal order of a live run
+(:class:`repro.service.client.TelemetrySink`) or the timestamp-merged order
+of a saved log (:func:`repro.detector.merge.merge_thread_logs`).
+
+Segment frame layout (little-endian)::
+
+    magic b"LTRS" + version u16 (=2) + flags u16 + event-count u32
+    + payload-length u32 + payload
+
+where flags bit 0 selects zlib compression of the payload, and the payload
+packs events back to back:
+
+* memory event: kind u8 (0 = read, 1 = write) + tid u32 + addr u32 + pc u32
+* sync event:   kind u8 (2 + SyncKind index) + var-domain u8 + tid u32
+  + var-id u32 + timestamp u32 + pc u32
+
+A version-2 *file* is the v1 file header (magic ``b"LTRC"``, version 2,
+segment count in place of the section count) followed by that many segment
+frames; :func:`repro.eventlog.encode.decode_log` reads both versions.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Sequence, Tuple
+
+from .events import Event, MemoryEvent, SyncEvent
+from .encode import (
+    _CODE_DOMAINS,
+    _CODE_KINDS,
+    _DOMAIN_CODES,
+    _KIND_CODES,
+    _decode_pc,
+    _encode_pc,
+)
+from .log import EventLog
+
+__all__ = [
+    "SEGMENT_MAGIC",
+    "SEGMENT_VERSION",
+    "FLAG_ZLIB",
+    "encode_segment",
+    "decode_segment",
+    "segment_event_count",
+    "split_log",
+]
+
+SEGMENT_MAGIC = b"LTRS"
+SEGMENT_VERSION = 2
+
+#: Flags bit 0: payload is zlib-compressed.
+FLAG_ZLIB = 0x0001
+
+_SEG_HEADER = struct.Struct("<4sHHII")
+_MEMORY2 = struct.Struct("<BIII")
+_SYNC2 = struct.Struct("<BBIIII")
+
+
+def _pack_events(events: Sequence[Event]) -> bytes:
+    parts: List[bytes] = []
+    for event in events:
+        if isinstance(event, MemoryEvent):
+            parts.append(_MEMORY2.pack(int(event.is_write),
+                                       event.tid & 0xFFFF_FFFF,
+                                       event.addr & 0xFFFF_FFFF,
+                                       _encode_pc(event.pc)))
+        else:
+            domain, ident = event.var
+            parts.append(_SYNC2.pack(_KIND_CODES[event.kind],
+                                     _DOMAIN_CODES[domain],
+                                     event.tid & 0xFFFF_FFFF,
+                                     ident & 0xFFFF_FFFF,
+                                     event.timestamp & 0xFFFF_FFFF,
+                                     _encode_pc(event.pc)))
+    return b"".join(parts)
+
+
+def encode_segment(events: Sequence[Event], *, compress: bool = False) -> bytes:
+    """Serialize ``events`` (in processing order) to one segment frame."""
+    payload = _pack_events(events)
+    flags = 0
+    if compress:
+        packed = zlib.compress(payload)
+        # Tiny segments can grow under zlib; keep whichever is smaller so
+        # the flag always means "this payload needs inflating".
+        if len(packed) < len(payload):
+            payload = packed
+            flags |= FLAG_ZLIB
+    return _SEG_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION, flags,
+                            len(events), len(payload)) + payload
+
+
+def segment_event_count(data: bytes, offset: int = 0) -> int:
+    """Events in the segment frame at ``offset``, validating its header."""
+    if len(data) - offset < _SEG_HEADER.size:
+        raise ValueError("truncated segment header")
+    magic, version, _, count, payload_len = _SEG_HEADER.unpack_from(data, offset)
+    if magic != SEGMENT_MAGIC:
+        raise ValueError("not a LiteRace segment (bad magic)")
+    if version != SEGMENT_VERSION:
+        raise ValueError(f"unsupported segment version {version}")
+    if len(data) - offset - _SEG_HEADER.size < payload_len:
+        raise ValueError("truncated segment payload")
+    return count
+
+
+def decode_segment(data: bytes, offset: int = 0) -> Tuple[List[Event], int]:
+    """Parse one segment frame at ``offset``.
+
+    Returns the decoded events (stream order, tids preserved) and the offset
+    of the first byte after the frame.
+    """
+    count = segment_event_count(data, offset)
+    _, _, flags, _, payload_len = _SEG_HEADER.unpack_from(data, offset)
+    start = offset + _SEG_HEADER.size
+    payload = bytes(data[start:start + payload_len])
+    if flags & FLAG_ZLIB:
+        payload = zlib.decompress(payload)
+    events: List[Event] = []
+    pos = 0
+    for _ in range(count):
+        kind_code = payload[pos]
+        if kind_code < 2:
+            flag, tid, addr, pc = _MEMORY2.unpack_from(payload, pos)
+            pos += _MEMORY2.size
+            events.append(MemoryEvent(tid, addr, _decode_pc(pc), bool(flag)))
+        else:
+            code, domain_code, tid, ident, ts, pc = _SYNC2.unpack_from(payload, pos)
+            pos += _SYNC2.size
+            events.append(SyncEvent(tid, _CODE_KINDS[code],
+                                    (_CODE_DOMAINS[domain_code], ident),
+                                    ts, _decode_pc(pc)))
+    if pos != len(payload):
+        raise ValueError("trailing bytes in segment payload")
+    return events, start + payload_len
+
+
+def split_log(log: EventLog, *, segment_events: int = 512,
+              compress: bool = False) -> List[bytes]:
+    """Chop ``log``'s global event stream into encoded segment frames.
+
+    The stream order is preserved across the segment boundary, so feeding
+    the decoded segments to a detector in order replays the log exactly.
+    """
+    if segment_events < 1:
+        raise ValueError("segment_events must be >= 1")
+    frames: List[bytes] = []
+    events = log.events
+    for start in range(0, len(events), segment_events):
+        frames.append(encode_segment(events[start:start + segment_events],
+                                     compress=compress))
+    return frames

@@ -21,17 +21,28 @@ __all__ = ["save_log", "load_log"]
 PathLike = Union[str, "os.PathLike[str]"]
 
 
-def save_log(log: EventLog, path: PathLike) -> int:
+def save_log(log: EventLog, path: PathLike, *, version: int = 1,
+             compress: bool = False) -> int:
     """Write ``log`` to ``path``; return the number of bytes written.
 
     The write is atomic (temp file + rename) so a crashed analysis never
-    sees a torn log.
+    sees a torn log, and a failure anywhere — encoding, the write itself,
+    or the rename — removes the temp file instead of leaving a stray
+    ``.tmp`` behind.  ``version=2`` selects the segmented wire format,
+    which also unlocks ``compress``.
     """
-    data = encode_log(log)
     tmp_path = f"{os.fspath(path)}.tmp"
-    with open(tmp_path, "wb") as handle:
-        handle.write(data)
-    os.replace(tmp_path, path)
+    try:
+        with open(tmp_path, "wb") as handle:
+            data = encode_log(log, version=version, compress=compress)
+            handle.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     return len(data)
 
 

@@ -90,11 +90,18 @@ class StreamingLogWriter:
                     log.memory_count += 1
                 else:
                     log.sync_count += 1
-        data = encode_log(log)
         tmp_path = f"{self.path}.tmp"
-        with open(tmp_path, "wb") as handle:
-            handle.write(data)
-        os.replace(tmp_path, self.path)
+        try:
+            with open(tmp_path, "wb") as handle:
+                data = encode_log(log)
+                handle.write(data)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
         self._closed = True
         return len(data)
 

@@ -1,0 +1,148 @@
+"""Address-range sharding and the detector worker process.
+
+A fleet of clients produces far more events than one interpreter can
+analyze, so the server fans segments out to a pool of worker *processes*.
+The partitioning is by **address range**: addresses are grouped into
+64-byte blocks and blocks are assigned round-robin to ``num_shards``
+logical shards (:func:`shard_of`).  Shards are logical — each worker owns a
+*set* of shards, so when a worker dies its shards migrate to survivors and
+the shard count (and therefore the routing) never changes.
+
+The invariant that makes sharding exact (§4.2): every shard consumes the
+client's **complete synchronization stream**, so every shard computes the
+same vector clocks as a single detector would; memory events touch only
+per-address state, so restricting a shard to its own addresses partitions
+the race instances without altering any of them.  The union of shard
+reports is therefore byte-for-byte the single-detector report's race set
+and occurrence counts — no false positives, no lost races.
+
+:func:`worker_main` is the process entry point.  It keeps one incremental
+:class:`ShardDetector` per (client, shard) pair, created lazily, so a shard
+reassigned after a crash rebuilds cleanly from a journal replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..detector.hb import HappensBeforeDetector
+from ..detector.races import RaceReport
+from ..eventlog.events import Event, SyncEvent
+from ..eventlog.segment import decode_segment
+from .protocol import report_to_wire
+
+__all__ = ["SHARD_BLOCK_SHIFT", "shard_of", "ShardDetector", "worker_main"]
+
+#: Addresses within the same 2**SHARD_BLOCK_SHIFT-byte block (a cache line)
+#: always land on the same shard.
+SHARD_BLOCK_SHIFT = 6
+
+
+def shard_of(addr: int, num_shards: int) -> int:
+    """The shard owning ``addr``'s 64-byte block."""
+    return (addr >> SHARD_BLOCK_SHIFT) % num_shards
+
+
+class ShardDetector:
+    """An incremental happens-before detector restricted to one shard.
+
+    Feed it a client's event stream in processing order; it consumes every
+    sync event (keeping its happens-before relation complete) and exactly
+    the memory events whose address belongs to shard ``shard_id``.
+    """
+
+    def __init__(self, shard_id: int, num_shards: int,
+                 alloc_as_sync: bool = True):
+        if not 0 <= shard_id < num_shards:
+            raise ValueError(f"shard {shard_id} outside 0..{num_shards - 1}")
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self._detector = HappensBeforeDetector(alloc_as_sync=alloc_as_sync)
+        self.sync_events = 0
+        self.memory_events = 0
+        self.segments = 0
+
+    def feed(self, event: Event) -> None:
+        if isinstance(event, SyncEvent):
+            self.sync_events += 1
+            self._detector.feed(event)
+        elif shard_of(event.addr, self.num_shards) == self.shard_id:
+            self.memory_events += 1
+            self._detector.feed(event)
+
+    def feed_segment(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.feed(event)
+        self.segments += 1
+
+    @property
+    def report(self) -> RaceReport:
+        return self._detector.report
+
+
+def worker_main(worker_id: int, in_queue, out_queue, num_shards: int,
+                alloc_as_sync: bool = True) -> None:
+    """Detector worker loop (runs in a child process).
+
+    Messages in (tuples, first element is the verb)::
+
+        ("segment", client_id, seq, shard_ids, payload)
+        ("finalize", client_id, shard_ids)
+        ("discard", client_id)
+        ("stop",)
+
+    Messages out::
+
+        ("ack", worker_id, client_id, seq, shard_ids, event_count)
+        ("report", worker_id, client_id, shard_id, wire_report, segments)
+        ("error", worker_id, client_id, seq, message)
+
+    A malformed segment is reported and skipped rather than allowed to kill
+    the process — a crash here would trigger a replay of the same poisoned
+    segment on another worker, looping forever.
+    """
+    detectors: Dict[Tuple[int, int], ShardDetector] = {}
+
+    def detector_for(client_id: int, shard_id: int) -> ShardDetector:
+        key = (client_id, shard_id)
+        state = detectors.get(key)
+        if state is None:
+            state = ShardDetector(shard_id, num_shards,
+                                  alloc_as_sync=alloc_as_sync)
+            detectors[key] = state
+        return state
+
+    while True:
+        message = in_queue.get()
+        verb = message[0]
+        if verb == "stop":
+            break
+        if verb == "segment":
+            _, client_id, seq, shard_ids, payload = message
+            try:
+                events, _ = decode_segment(payload)
+            except (ValueError, KeyError, IndexError) as exc:
+                out_queue.put(("error", worker_id, client_id, seq,
+                               f"bad segment: {exc}"))
+                continue
+            for shard_id in shard_ids:
+                detector_for(client_id, shard_id).feed_segment(events)
+            out_queue.put(("ack", worker_id, client_id, seq,
+                           tuple(shard_ids), len(events)))
+        elif verb == "finalize":
+            _, client_id, shard_ids = message
+            for shard_id in shard_ids:
+                state = detectors.pop((client_id, shard_id), None)
+                if state is None:
+                    # The shard never saw a segment for this client (e.g.
+                    # an empty log); report an empty shard result so the
+                    # aggregator's completion count still adds up.
+                    state = ShardDetector(shard_id, num_shards,
+                                          alloc_as_sync=alloc_as_sync)
+                out_queue.put(("report", worker_id, client_id, shard_id,
+                               report_to_wire(state.report),
+                               state.segments))
+        elif verb == "discard":
+            _, client_id = message
+            for key in [k for k in detectors if k[0] == client_id]:
+                del detectors[key]

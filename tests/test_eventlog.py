@@ -153,3 +153,49 @@ class TestStore:
         path = tmp_path / "log.ltrc"
         save_log(sample_log(), path)
         assert not (tmp_path / "log.ltrc.tmp").exists()
+
+    def test_v2_save_load_round_trip(self, tmp_path):
+        from repro.eventlog.store import load_log, save_log
+
+        log = sample_log()
+        path = tmp_path / "log.ltrc"
+        written = save_log(log, path, version=2, compress=True)
+        assert written == path.stat().st_size
+        loaded = load_log(path)
+        assert loaded.sync_count == log.sync_count
+        assert loaded.memory_count == log.memory_count
+
+    def test_failed_encode_leaves_no_temp_file(self, tmp_path):
+        from repro.eventlog.store import save_log
+
+        log = EventLog()
+        log.append_sync(0, SyncKind.LOCK, ("no-such-domain", 1), 1, 0)
+        path = tmp_path / "log.ltrc"
+        with pytest.raises(KeyError):
+            save_log(log, path)
+        assert not path.exists()
+        assert not (tmp_path / "log.ltrc.tmp").exists()
+
+    def test_failed_rename_leaves_no_temp_file(self, tmp_path):
+        from repro.eventlog.store import save_log
+
+        # The destination is a non-empty directory, so the final
+        # os.replace must fail after the temp file was fully written.
+        path = tmp_path / "log.ltrc"
+        path.mkdir()
+        (path / "occupied").write_text("x")
+        with pytest.raises(OSError):
+            save_log(sample_log(), path)
+        assert not (tmp_path / "log.ltrc.tmp").exists()
+
+    def test_streaming_writer_failure_leaves_no_temp_file(self, tmp_path):
+        from repro.eventlog.writer import StreamingLogWriter
+
+        path = tmp_path / "log.ltrc"
+        path.mkdir()
+        (path / "occupied").write_text("x")
+        writer = StreamingLogWriter(path)
+        writer.feed(sample_log().events[0])
+        with pytest.raises(OSError):
+            writer.close()
+        assert not (tmp_path / "log.ltrc.tmp").exists()

@@ -78,6 +78,45 @@ class TestReconstruction:
         result = merge_thread_logs(make_log(events))
         assert len(result.events) == 4
 
+    def test_circular_wedge_forces_exactly_one_event(self):
+        # A timestamp cycle between two vars: t0 waits for A's smaller
+        # timestamp (held by t1), t1 waits for B's (held by t0).  No valid
+        # interleaving exists; the replay must force exactly one sync
+        # event — the blocked head with the globally smallest timestamp,
+        # first thread winning ties — and then drain normally.
+        var_a, var_b = ("mutex", 10), ("mutex", 11)
+        events = [
+            SyncEvent(0, SyncKind.LOCK, var_a, 2, 0),
+            SyncEvent(0, SyncKind.LOCK, var_b, 1, 1),
+            SyncEvent(1, SyncKind.LOCK, var_b, 2, 0),
+            SyncEvent(1, SyncKind.LOCK, var_a, 1, 1),
+        ]
+        result = merge_thread_logs(make_log(events))
+        assert result.inconsistencies == 1
+        order = [(e.tid, e.var, e.timestamp) for e in result.events]
+        assert order == [
+            (0, var_a, 2),  # forced: both blocked heads had ts 2, t0 wins
+            (0, var_b, 1),
+            (1, var_b, 2),
+            (1, var_a, 1),
+        ]
+
+    def test_every_forced_event_is_counted(self):
+        # Two independent single-var inversions: each thread's stream puts
+        # the larger timestamp first, so each var wedges once.
+        events = [
+            SyncEvent(0, SyncKind.LOCK, ("mutex", 20), 2, 0),
+            SyncEvent(0, SyncKind.LOCK, ("mutex", 20), 1, 1),
+            SyncEvent(1, SyncKind.LOCK, ("mutex", 21), 2, 0),
+            SyncEvent(1, SyncKind.LOCK, ("mutex", 21), 1, 1),
+        ]
+        result = merge_thread_logs(make_log(events))
+        assert result.inconsistencies == 2
+        assert len(result.events) == 4
+        # All events survive the forcing — nothing is dropped.
+        assert sorted((e.tid, e.timestamp) for e in result.events) == \
+            [(0, 1), (0, 2), (1, 1), (1, 2)]
+
 
 class TestEquivalenceWithTrueOrder:
     def test_merge_preserves_race_report(self):

@@ -54,6 +54,28 @@ class TestOnline:
         with pytest.raises(ValueError):
             OnlineRaceDetector().keeps_up_with(1000, spare_cores=0)
 
+    def test_keeps_up_with_exact_budget_boundary(self):
+        # Two memory events and one sync event cost exactly
+        # 2*25 + 120 = 170 analysis cycles; the budget check must be
+        # inclusive at the boundary and fail one cycle below it.
+        online = OnlineRaceDetector()
+        online.feed(MemoryEvent(0, 0x10, 1, True))
+        online.feed(MemoryEvent(1, 0x10, 2, True))
+        online.feed(SyncEvent(0, SyncKind.LOCK, ("mutex", 1), 1, 3))
+        assert online.analysis_cycles == 170
+        assert online.keeps_up_with(170)
+        assert not online.keeps_up_with(169)
+
+    def test_spare_cores_scale_the_budget(self):
+        online = OnlineRaceDetector()
+        online.feed(MemoryEvent(0, 0x10, 1, True))
+        online.feed(MemoryEvent(1, 0x10, 2, True))
+        online.feed(SyncEvent(0, SyncKind.LOCK, ("mutex", 1), 1, 3))
+        # 170 cycles over an 85-cycle run: one spare core cannot keep up,
+        # two can (exactly).
+        assert not online.keeps_up_with(85)
+        assert online.keeps_up_with(85, spare_cores=2)
+
 
 class TestOracle:
     def mem(self, tid, pc, write, addr=0x100):

@@ -1,0 +1,359 @@
+"""Tests for the race-telemetry service (repro.service).
+
+The acceptance bar is *end-to-end parity*: N concurrent clients submitting
+segmented logs must yield a deduped race report equal — same race set, same
+occurrence counts, deterministic ordering — to running the offline
+`HappensBeforeDetector` on the same logs in one process, across multiple
+shard counts.  On top of that: bounded-queue backpressure, worker-crash
+journal replay, torn-connection isolation, rolling-state persistence, and
+the live harness sink.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.core.literace import LiteRace
+from repro.detector.hb import HappensBeforeDetector, detect_races
+from repro.detector.merge import merge_thread_logs
+from repro.detector.races import RaceInstance, RaceReport
+from repro.eventlog.log import EventLog
+from repro.eventlog.segment import split_log
+from repro.service import (
+    ProtocolError,
+    TelemetryClient,
+    TelemetryServer,
+    TelemetrySink,
+    parse_address,
+)
+from repro.service.protocol import (
+    T_OK,
+    T_STATUS,
+    recv_frame,
+    report_from_wire,
+    report_to_wire,
+    send_frame,
+)
+from repro.workloads.synthetic import random_program, two_thread_racer
+
+
+# -- helpers ---------------------------------------------------------------
+
+def short_socket_path() -> str:
+    """A Unix socket path safely inside AF_UNIX's ~108-char limit."""
+    return os.path.join(tempfile.mkdtemp(prefix="reprosvc-", dir="/tmp"),
+                        "sock")
+
+
+def offline_reference(*logs: EventLog) -> RaceReport:
+    """What one process, one detector per log, would report — the oracle
+    the service must match exactly."""
+    merged = RaceReport()
+    for log in logs:
+        detector = HappensBeforeDetector()
+        detector.feed_all(merge_thread_logs(log).events)
+        merged.merge(detector.report)
+    return merged
+
+
+def wire_occurrences(report_body) -> dict:
+    return {(row["pcs"][0], row["pcs"][1]): row["count"]
+            for row in report_body["report"]["races"]}
+
+
+@pytest.fixture(scope="module")
+def fleet_logs():
+    """Two small racy logs standing in for two fleet machines."""
+    log_a = LiteRace(sampler="Full", seed=1).profile(two_thread_racer())[1]
+    log_b = LiteRace(sampler="Full", seed=2).profile(random_program(3))[1]
+    return log_a, log_b
+
+
+# -- protocol units --------------------------------------------------------
+
+class TestProtocol:
+    def test_parse_address_forms(self):
+        assert parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+        assert parse_address("tcp:127.0.0.1:900") == \
+            ("tcp", ("127.0.0.1", 900))
+
+    @pytest.mark.parametrize("bad", ["", "unix", "udp:/x", "tcp:hostonly"])
+    def test_parse_address_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+    def test_frame_round_trip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, T_STATUS, b"payload-bytes")
+            frame_type, payload = recv_frame(right)
+            assert (frame_type, payload) == (T_STATUS, b"payload-bytes")
+            send_frame(right, T_OK, b"")
+            assert recv_frame(left) == (T_OK, b"")
+        finally:
+            left.close()
+            right.close()
+
+    def test_report_wire_round_trip(self):
+        report = RaceReport()
+        report.record(RaceInstance(0x40, 1, 2, 9, 3, True, False))
+        report.record(RaceInstance(0x40, 1, 2, 9, 3, True, False))
+        report.record(RaceInstance(0x80, 0, 3, 7, 7, True, True))
+        restored = report_from_wire(report_to_wire(report))
+        assert restored.occurrences == report.occurrences
+        assert restored.examples == report.examples
+        assert restored.addresses == report.addresses
+
+
+# -- end-to-end parity -----------------------------------------------------
+
+class TestFleetParity:
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_concurrent_clients_match_offline_detector(self, fleet_logs,
+                                                       shards):
+        log_a, log_b = fleet_logs
+        reference = offline_reference(log_a, log_b)
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=2, shards=shards,
+                             queue_depth=8) as server:
+            results = []
+
+            def submit(log, name):
+                with TelemetryClient(address) as client:
+                    results.append(client.submit_log(
+                        log, name=name, segment_events=64, compress=True))
+
+            threads = [threading.Thread(target=submit, args=(log, name))
+                       for log, name in ((log_a, "a"), (log_b, "b"))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            with TelemetryClient(address) as client:
+                body = client.report()
+                status = client.status()
+
+        assert len(results) == 2
+        assert all(r.merge_inconsistencies == 0 for r in results)
+        assert wire_occurrences(body) == reference.occurrences
+        assert status["clients_completed"] == 2
+        assert status["races_found"] == reference.num_static
+        assert all(lag == 0 for lag in status["shard_lag"].values())
+
+    def test_report_ordering_is_deterministic_across_shard_counts(
+            self, fleet_logs):
+        log_a, log_b = fleet_logs
+        rows_by_shards = {}
+        for shards in (1, 3):
+            address = f"unix:{short_socket_path()}"
+            with TelemetryServer([address], workers=2,
+                                 shards=shards) as server:
+                with TelemetryClient(address) as client:
+                    client.submit_log(log_a, segment_events=64)
+                with TelemetryClient(address) as client:
+                    client.submit_log(log_b, segment_events=64)
+                with TelemetryClient(address) as client:
+                    rows = [(tuple(r["pcs"]), r["count"])
+                            for r in client.report()["report"]["races"]]
+                    rows_again = [(tuple(r["pcs"]), r["count"])
+                                  for r in client.report()["report"]["races"]]
+            assert rows == rows_again
+            rows_by_shards[shards] = rows
+        assert rows_by_shards[1] == rows_by_shards[3]
+
+    def test_tcp_listener_works_too(self, fleet_logs):
+        log_a, _ = fleet_logs
+        with TelemetryServer(["tcp:127.0.0.1:0"], workers=1) as server:
+            address = server.addresses[0]
+            with TelemetryClient(address) as client:
+                result = client.submit_log(log_a, segment_events=16)
+        assert result.races == offline_reference(log_a).num_static
+
+
+# -- robustness ------------------------------------------------------------
+
+class TestRobustness:
+    def test_backpressure_queue_stays_bounded(self, fleet_logs):
+        _, log_b = fleet_logs
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1, shards=2,
+                             queue_depth=1) as server:
+            with TelemetryClient(address) as client:
+                result = client.submit_log(log_b, segment_events=8)
+                status = client.status()
+        assert result.segments > 10  # enough to have cycled the queue
+        assert status["queue_capacity"] == 1
+        assert result.races == offline_reference(log_b).num_static
+
+    def test_worker_crash_mid_stream_replays_journal(self, fleet_logs):
+        _, log_b = fleet_logs
+        reference = offline_reference(log_b)
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=2, shards=4,
+                             queue_depth=8) as server:
+            ordered = EventLog()
+            ordered.events = merge_thread_logs(log_b).events
+            frames = split_log(ordered, segment_events=32)
+            client = TelemetryClient(address).connect()
+            client.hello("crashy")
+            half = len(frames) // 2
+            for frame in frames[:half]:
+                client.send_segment(frame)
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                status = client.status()
+                if all(lag == 0 for lag in status["shard_lag"].values()):
+                    break
+                time.sleep(0.05)
+            server._workers[0].process.terminate()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if client.status()["worker_failures"]:
+                    break
+                time.sleep(0.05)
+            for frame in frames[half:]:
+                client.send_segment(frame)
+            ack = client.end_log(len(frames))
+            body = client.report()
+            status = client.status()
+            client.close()
+        assert status["worker_failures"] == 1
+        assert ack["races"] == reference.num_static
+        assert wire_occurrences(body) == reference.occurrences
+
+    def test_last_worker_death_spawns_replacement(self, fleet_logs):
+        log_a, _ = fleet_logs
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1, shards=2) as server:
+            client = TelemetryClient(address).connect()
+            client.hello("survivor")
+            server._workers[0].process.terminate()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if client.status()["worker_failures"]:
+                    break
+                time.sleep(0.05)
+            result = client.submit_log(log_a, segment_events=8)
+            status = client.status()
+            client.close()
+        assert status["worker_failures"] == 1
+        assert status["workers_alive"] == 1
+        assert result.races == offline_reference(log_a).num_static
+
+    def test_torn_connection_never_corrupts_server_state(self, fleet_logs):
+        log_a, _ = fleet_logs
+        reference = offline_reference(log_a)
+        address = f"unix:{short_socket_path()}"
+        path = parse_address(address)[1]
+        with TelemetryServer([address], workers=1) as server:
+            # A connection that dies mid-frame: claims 100 payload bytes,
+            # delivers 2, vanishes.
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.connect(path)
+            raw.sendall(struct.pack("<IB", 100, 2) + b"xx")
+            raw.close()
+            # A client that HELLOs, streams half a log, and vanishes.
+            half_client = TelemetryClient(address).connect()
+            half_client.hello("vanishes")
+            ordered = EventLog()
+            ordered.events = merge_thread_logs(log_a).events
+            half_client.send_segment(
+                split_log(ordered, segment_events=8)[0])
+            half_client.close()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                with TelemetryClient(address) as probe:
+                    status = probe.status()
+                if status["connections_torn"] and status["clients_aborted"]:
+                    break
+                time.sleep(0.05)
+            # The server keeps serving, and the aborted half-log never
+            # leaks into the fleet report.
+            with TelemetryClient(address) as client:
+                result = client.submit_log(log_a, segment_events=16)
+                body = client.report()
+        assert status["connections_torn"] >= 1
+        assert status["clients_aborted"] == 1
+        assert result.races == reference.num_static
+        assert wire_occurrences(body) == reference.occurrences
+
+    def test_segment_before_hello_is_a_protocol_error(self):
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1) as server:
+            with TelemetryClient(address) as client:
+                with pytest.raises(ProtocolError, match="HELLO"):
+                    client.send_segment(b"LTRS")
+                status = client.status()
+        assert status["protocol_errors"] >= 1
+
+    def test_malformed_segment_rejected_before_ingest(self):
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1) as server:
+            with TelemetryClient(address) as client:
+                client.hello("bad")
+                with pytest.raises(ProtocolError, match="bad segment"):
+                    client.send_segment(b"not a segment at all")
+                status = client.status()
+        assert status["segments_ingested"] == 0
+
+
+# -- persistence and the live sink -----------------------------------------
+
+class TestStateAndSink:
+    def test_rolling_state_survives_restart(self, fleet_logs, tmp_path):
+        log_a, _ = fleet_logs
+        reference = offline_reference(log_a)
+        state_dir = str(tmp_path / "state")
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1,
+                             state_dir=state_dir) as server:
+            with TelemetryClient(address) as client:
+                client.submit_log(log_a, segment_events=16)
+        assert os.path.exists(os.path.join(state_dir, "report.json"))
+        with TelemetryServer([address], workers=1,
+                             state_dir=state_dir) as server:
+            with TelemetryClient(address) as client:
+                body = client.report()
+        assert wire_occurrences(body) == reference.occurrences
+
+    def test_live_sink_matches_offline_analysis_of_same_run(self):
+        program = random_program(11)
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=2, shards=3) as server:
+            client = TelemetryClient(address)
+            sink = TelemetrySink(client, name="live", segment_events=64)
+            tool = LiteRace(sampler="Full", seed=4)
+            _, log = tool.profile(program, sink=sink)
+            ack = sink.close()
+            body = client.report()
+            client.close()
+        # The sink streamed exactly the run's event stream in temporal
+        # order, so the server must agree with a detector fed that exact
+        # stream — occurrence counts included.
+        reference = detect_races(log.events)
+        assert sink.events_sent == len(log.events)
+        assert ack["races"] == reference.num_static
+        assert wire_occurrences(body) == reference.occurrences
+
+    def test_suppressions_filter_fleet_report(self, fleet_logs):
+        from repro.core.suppressions import SuppressionList
+
+        log_a, _ = fleet_logs
+        program = two_thread_racer()
+        rules = SuppressionList.parse("* <-> *  # silence everything\n")
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1, program=program,
+                             suppressions=rules) as server:
+            with TelemetryClient(address) as client:
+                client.submit_log(log_a, segment_events=16)
+                body = client.report()
+        assert body["num_static"] == 0
+        assert body["suppressed"] == offline_reference(log_a).num_static
