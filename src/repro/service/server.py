@@ -170,6 +170,7 @@ class TelemetryServer:
             "protocol_errors": 0,
             "segment_errors": 0,
             "worker_failures": 0,
+            "snapshot_errors": 0,
         }
         self._dispatched: Dict[int, int] = {s: 0 for s in range(self.num_shards)}
         self._acked: Dict[int, int] = {s: 0 for s in range(self.num_shards)}
@@ -399,9 +400,21 @@ class TelemetryServer:
             for sid in sorted(state.shard_reports):
                 merged.merge(state.shard_reports[sid])
             state.report = merged
+            # The journal exists only so a crash can replay this client's
+            # segments; nothing replays a completed client, so release the
+            # payloads (and the now-merged shard reports) instead of
+            # holding every submitted byte for the daemon's lifetime.
+            state.journal.clear()
+            state.shard_reports.clear()
             self._counters["clients_completed"] += 1
             state.completed.set()
-            self._write_snapshot()
+            try:
+                self._write_snapshot()
+            except Exception:
+                # A failed snapshot (disk full, bad state_dir) must not
+                # kill the collector thread — the in-memory report is
+                # intact and the next completion retries the write.
+                self._counters["snapshot_errors"] += 1
 
     def _supervise_loop(self) -> None:
         while not self._stopping:
@@ -498,7 +511,9 @@ class TelemetryServer:
                       payload: bytes, client_id: Optional[int]):
         """Dispatch one frame; returns (client_id, connection_done)."""
         if frame_type == T_HELLO:
-            body = decode_json(payload)
+            body = self._decode_body(conn, payload)
+            if body is None:
+                return client_id, False
             with self._mu:
                 new_id = self._next_client_id
                 self._next_client_id += 1
@@ -536,10 +551,17 @@ class TelemetryServer:
             if client_id is None:
                 self._protocol_error(conn, "END before HELLO")
                 return client_id, False
-            body = decode_json(payload)
+            body = self._decode_body(conn, payload)
+            if body is None:
+                return client_id, False
             with self._mu:
                 state = self._clients[client_id]
-                expected = int(body.get("segments", state.enqueued))
+                try:
+                    expected = int(body.get("segments", state.enqueued))
+                except (TypeError, ValueError):
+                    self._protocol_error(
+                        conn, "END segments must be an integer")
+                    return client_id, False
                 if expected != state.enqueued or state.ended:
                     self._protocol_error(
                         conn, f"END claims {expected} segments, "
@@ -547,8 +569,21 @@ class TelemetryServer:
                     return client_id, False
             self._ingest.put(("end", client_id))
             if not state.completed.wait(timeout=self._finalize_timeout):
-                send_json(conn, T_ERR, {"error": "finalize timed out"})
-                return client_id, False
+                with self._mu:
+                    # Re-check under the lock: completion may have landed
+                    # just after the timeout fired.
+                    timed_out = not state.completed.is_set()
+                    if timed_out and not state.aborted:
+                        # Reclaim the stuck state — otherwise it sits in
+                        # clients_pending forever, its journal is replayed
+                        # on every worker death, and END can never be
+                        # retried (a second END fails validation).
+                        state.aborted = True
+                        self._counters["clients_aborted"] += 1
+                if timed_out:
+                    self._ingest.put(("discard", client_id))
+                    send_json(conn, T_ERR, {"error": "finalize timed out"})
+                    return client_id, False
             with self._mu:
                 races = state.report.num_static if state.report else 0
             send_json(conn, T_OK, {"segments": expected, "races": races})
@@ -569,6 +604,21 @@ class TelemetryServer:
 
         self._protocol_error(conn, f"unknown frame type {frame_type}")
         return client_id, False
+
+    def _decode_body(self, conn: socket.socket,
+                     payload: bytes) -> Optional[Dict[str, Any]]:
+        """Decode a frame's JSON object body, or ERR the peer and return
+        None — bad JSON must never escape the frame handler (it would kill
+        the connection thread without a reply)."""
+        try:
+            body = decode_json(payload) if payload else {}
+        except ProtocolError as exc:
+            self._protocol_error(conn, str(exc))
+            return None
+        if not isinstance(body, dict):
+            self._protocol_error(conn, "frame body must be a JSON object")
+            return None
+        return body
 
     def _protocol_error(self, conn: socket.socket, message: str) -> None:
         with self._mu:

@@ -121,7 +121,10 @@ def worker_main(worker_id: int, in_queue, out_queue, num_shards: int,
             _, client_id, seq, shard_ids, payload = message
             try:
                 events, _ = decode_segment(payload)
-            except (ValueError, KeyError, IndexError) as exc:
+            except Exception as exc:
+                # Catch everything: the server only validates the outer
+                # frame header, so a corrupt payload can surface as
+                # struct.error, zlib.error, ValueError, KeyError, ...
                 out_queue.put(("error", worker_id, client_id, seq,
                                f"bad segment: {exc}"))
                 continue

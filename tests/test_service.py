@@ -34,6 +34,7 @@ from repro.service import (
     parse_address,
 )
 from repro.service.protocol import (
+    T_END,
     T_OK,
     T_STATUS,
     recv_frame,
@@ -303,6 +304,120 @@ class TestRobustness:
                     client.send_segment(b"not a segment at all")
                 status = client.status()
         assert status["segments_ingested"] == 0
+
+    def test_poisoned_payload_does_not_kill_worker(self, fleet_logs):
+        """A segment whose *outer* frame is valid but whose payload is
+        corrupt (bad zlib, truncated event packing) passes the server's
+        pre-check; the worker must skip it, not die — a worker death here
+        would replay the same poisoned segment forever."""
+        log_a, _ = fleet_logs
+        reference = offline_reference(log_a)
+        address = f"unix:{short_socket_path()}"
+        # flags=1 claims zlib, but the payload does not inflate.
+        bad_zlib = struct.pack("<4sHHII", b"LTRS", 2, 1, 1, 8) + b"!garbage"
+        # flags=0, claims 2 events, payload too short for even one.
+        truncated = struct.pack("<4sHHII", b"LTRS", 2, 0, 2, 3) + b"\x00" * 3
+        with TelemetryServer([address], workers=1) as server:
+            poisoner = TelemetryClient(address).connect()
+            poisoner.hello("poison")
+            poisoner.send_segment(bad_zlib)
+            poisoner.send_segment(truncated)
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                status = poisoner.status()
+                if status["segment_errors"] >= 2:
+                    break
+                time.sleep(0.05)
+            poisoner.close()
+            # The worker survived and still analyzes honest submissions.
+            with TelemetryClient(address) as client:
+                result = client.submit_log(log_a, segment_events=16)
+        assert status["segment_errors"] == 2
+        assert status["worker_failures"] == 0
+        assert result.races == reference.num_static
+
+    def test_journal_released_once_client_completes(self, fleet_logs):
+        log_a, _ = fleet_logs
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1) as server:
+            with TelemetryClient(address) as client:
+                client.submit_log(log_a, segment_events=8)
+            state = server._clients[1]
+            assert state.completed.is_set()
+            # Raw segment payloads are only needed for crash replay, which
+            # skips completed clients — keeping them would grow server
+            # memory with every log the daemon ever ingests.
+            assert state.journal == []
+            assert state.shard_reports == {}
+
+    def test_snapshot_failure_does_not_kill_collector(self, fleet_logs,
+                                                      monkeypatch, tmp_path):
+        log_a, _ = fleet_logs
+        reference = offline_reference(log_a)
+        address = f"unix:{short_socket_path()}"
+        server = TelemetryServer([address], workers=1,
+                                 state_dir=str(tmp_path / "state"),
+                                 finalize_timeout=10.0)
+        with server:
+            def boom():
+                raise OSError("disk full")
+
+            monkeypatch.setattr(server, "_write_snapshot", boom)
+            # Both submissions complete: the collector thread survives the
+            # failed snapshot writes and keeps processing shard reports.
+            with TelemetryClient(address) as client:
+                first = client.submit_log(log_a, segment_events=16)
+            with TelemetryClient(address) as client:
+                second = client.submit_log(log_a, segment_events=16)
+                status = client.status()
+        assert first.races == reference.num_static
+        assert second.races == reference.num_static
+        assert status["snapshot_errors"] == 2
+        assert status["clients_completed"] == 2
+
+    def test_finalize_timeout_reclaims_client_state(self, fleet_logs,
+                                                    monkeypatch):
+        log_a, _ = fleet_logs
+        address = f"unix:{short_socket_path()}"
+        server = TelemetryServer([address], workers=1, finalize_timeout=0.3)
+        with server:
+            # Swallow the finalize so completion never arrives and END
+            # must time out.
+            monkeypatch.setattr(server, "_route_end", lambda client_id: None)
+            client = TelemetryClient(address).connect()
+            client.hello("stuck")
+            ordered = EventLog()
+            ordered.events = merge_thread_logs(log_a).events
+            client.send_segment(split_log(ordered, segment_events=64)[0])
+            with pytest.raises(ProtocolError, match="finalize timed out"):
+                client.end_log(1)
+            # The stuck state is reclaimed instead of leaking: aborted,
+            # out of clients_pending, journal released.
+            state = server._clients[1]
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if state.journal == []:
+                    break
+                time.sleep(0.05)
+            status = client.status()
+            client.close()
+        assert state.aborted
+        assert state.journal == []
+        assert status["clients_aborted"] == 1
+        assert status["clients_pending"] == 0
+
+    def test_end_with_non_numeric_segments_is_protocol_error(self):
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1) as server:
+            with TelemetryClient(address) as client:
+                client.hello("fuzzer")
+                # Must get an ERR reply (not a dropped connection) and be
+                # counted like every other malformed-message path.
+                with pytest.raises(ProtocolError, match="integer"):
+                    client._request_json(T_END, {"segments": "x"})
+                status = client.status()
+        assert status["protocol_errors"] == 1
+        assert status["clients_completed"] == 0
 
 
 # -- persistence and the live sink -----------------------------------------
