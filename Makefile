@@ -5,12 +5,14 @@
 # oracle on every workload (exit 1 on any soundness violation) and is
 # wired into tier-1 via tests/test_staticpass.py; serve-smoke drives the
 # telemetry daemon CLI (serve/submit/status) end to end and is wired into
-# tier-1 via tests/test_service_smoke.py.
+# tier-1 via tests/test_service_smoke.py; validate-smoke drives the race
+# validation CLI (run --log-out / validate / run --validate) end to end
+# and is wired into tier-1 via tests/test_validate_smoke.py.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke serve-smoke staticpass bench artifacts clean-cache
+.PHONY: test smoke serve-smoke validate-smoke staticpass bench artifacts clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +22,9 @@ smoke:
 
 serve-smoke:
 	$(PYTHON) -m pytest tests/test_service_smoke.py -q
+
+validate-smoke:
+	$(PYTHON) -m pytest tests/test_validate_smoke.py -q
 
 staticpass:
 	$(PYTHON) -m repro staticpass --all --check --scale 0.2

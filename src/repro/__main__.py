@@ -91,11 +91,115 @@ def _cmd_run(args) -> int:
                   f"suppressed by {args.suppressions})")
         result.report = kept
 
+    verdicts = None
+    if args.validate and result.report.occurrences:
+        from .validate import DirectorConfig, pairs_from_report, validate_pairs
+
+        validation = validate_pairs(
+            program, pairs_from_report(result.report),
+            config=DirectorConfig(budget=args.budget, base_seed=args.seed),
+            minimize=args.minimize,
+            static_report=result.static_report,
+            workload=args.workload, seed=args.seed, scale=args.scale,
+            source="run",
+        )
+        verdicts = validation.verdict_map()
+        if args.witness_dir:
+            saved = validation.save_witnesses(args.witness_dir)
+            print(f"validation: {saved} witness trace(s) written to "
+                  f"{args.witness_dir}")
+
     header = (f"{program.name}: {program.num_functions} functions, "
               f"{baseline.memory_ops:,} memory ops, "
               f"{baseline.threads_created} threads — sampler "
               f"{tool.sampler.short_name}")
-    print(render_triage(program, result, title=header))
+    print(render_triage(program, result, title=header, verdicts=verdicts))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    """Actively validate candidate race pairs from a log, a telemetry
+    report, or the static pass — confirm with replayable witnesses."""
+    import json
+    import os
+
+    from .validate import (
+        DirectorConfig,
+        pairs_from_log,
+        pairs_from_static,
+        pairs_from_telemetry,
+        validate_pairs,
+    )
+
+    source = args.source
+    if source == "auto":
+        if args.target in workloads.names():
+            source = "static"
+        elif args.target.endswith(".json"):
+            source = "telemetry"
+        else:
+            source = "log"
+
+    if source == "static":
+        workload = args.workload or args.target
+    else:
+        workload = args.workload
+        if not workload:
+            print("validate: --workload is required to rebuild the program "
+                  "the log/report came from", file=sys.stderr)
+            return 2
+    program = workloads.build(workload, seed=args.seed, scale=args.scale)
+
+    static_report = None
+    if source == "log":
+        from .eventlog.store import load_log
+
+        pairs = pairs_from_log(load_log(args.target))
+    elif source == "telemetry":
+        with open(args.target, "r", encoding="utf-8") as handle:
+            pairs = pairs_from_telemetry(json.load(handle))
+    elif source == "static":
+        from .staticpass import analyze
+
+        static_report = analyze(program)
+        pairs = pairs_from_static(static_report)
+    else:
+        print(f"validate: unknown source {source!r}", file=sys.stderr)
+        return 2
+
+    if not pairs:
+        print(f"validate: no candidate pairs from {source} source — "
+              f"nothing to do")
+        return 0
+    print(f"validating {len(pairs)} candidate pair(s) from {source} "
+          f"source against {program.name} "
+          f"(budget {args.budget} attempt(s)/pair)...")
+
+    report = validate_pairs(
+        program, pairs,
+        config=DirectorConfig(budget=args.budget, base_seed=args.seed),
+        minimize=args.minimize, static_report=static_report,
+        workload=workload, seed=args.seed, scale=args.scale, source=source,
+    )
+
+    witness_dir = args.witness_dir
+    if witness_dir is None and args.out:
+        witness_dir = os.path.splitext(args.out)[0] + "_witnesses"
+    if witness_dir and report.confirmed:
+        saved = report.save_witnesses(witness_dir)
+        print(f"{saved} witness trace(s) written to {witness_dir}")
+    if args.out:
+        report.save(args.out, program)
+        print(f"validation report written to {args.out}")
+    if args.suppressions_out:
+        rules = report.to_suppressions(program)
+        with open(args.suppressions_out, "w", encoding="utf-8") as handle:
+            handle.write(rules.to_text())
+        print(f"{len(rules)} infeasible-pair suppression rule(s) written "
+              f"to {args.suppressions_out}")
+
+    for line in report.summary_lines(program):
+        print(line)
     return 0
 
 
@@ -228,24 +332,43 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_submit(args) -> int:
-    """Stream a saved log to a running telemetry server."""
-    from .eventlog.store import load_log
+    """Stream a saved log and/or validation verdicts to a telemetry
+    server."""
     from .service import TelemetryClient
 
-    log = load_log(args.log)
+    if not args.log and not args.verdicts:
+        print("submit: pass a log file and/or --verdicts FILE",
+              file=sys.stderr)
+        return 2
+
     with TelemetryClient(args.connect) as client:
-        result = client.submit_log(
-            log,
-            name=args.name or args.log,
-            segment_events=args.segment_events,
-            compress=args.compress,
-        )
-    print(f"submitted {args.log}: {result.events:,} events in "
-          f"{result.segments} segment(s), {result.bytes_sent:,} bytes on "
-          f"the wire; server found {result.races} race(s) in this log")
-    if result.merge_inconsistencies:
-        print(f"WARNING  : {result.merge_inconsistencies} timestamp "
-              f"inconsistencies during order reconstruction")
+        if args.log:
+            from .eventlog.store import load_log
+
+            log = load_log(args.log)
+            result = client.submit_log(
+                log,
+                name=args.name or args.log,
+                segment_events=args.segment_events,
+                compress=args.compress,
+            )
+            print(f"submitted {args.log}: {result.events:,} events in "
+                  f"{result.segments} segment(s), {result.bytes_sent:,} "
+                  f"bytes on the wire; server found {result.races} race(s) "
+                  f"in this log")
+            if result.merge_inconsistencies:
+                print(f"WARNING  : {result.merge_inconsistencies} timestamp "
+                      f"inconsistencies during order reconstruction")
+        if args.verdicts:
+            from .validate import ValidationReport
+
+            report = ValidationReport.load(args.verdicts)
+            rows = [{"pcs": list(entry.pair),
+                     "verdict": entry.verdict.value}
+                    for entry in report.verdicts]
+            accepted = client.submit_verdicts(rows)
+            print(f"submitted {accepted} validation verdict(s) from "
+                  f"{args.verdicts}")
     return 0
 
 
@@ -357,6 +480,16 @@ def main(argv=None) -> int:
     run_p.add_argument("--telemetry", default=None, metavar="ADDR",
                        help="stream events live to a telemetry server "
                             "(unix:PATH or tcp:HOST:PORT)")
+    run_p.add_argument("--validate", action="store_true",
+                       help="actively confirm each reported race with "
+                            "directed scheduling (repro.validate)")
+    run_p.add_argument("--budget", type=int, default=5,
+                       help="directed attempts per race pair (default 5)")
+    run_p.add_argument("--minimize", action="store_true",
+                       help="delta-debug confirmed witnesses to minimal "
+                            "reproducers")
+    run_p.add_argument("--witness-dir", default=None,
+                       help="write confirmed witness traces (.ltrt) here")
 
     sp_p = sub.add_parser(
         "staticpass",
@@ -371,6 +504,35 @@ def main(argv=None) -> int:
                            "fail on any race the pruned run loses")
     sp_p.add_argument("--verbose", action="store_true",
                       help="full per-workload verdict breakdown")
+
+    val_p = sub.add_parser(
+        "validate",
+        help="actively validate reported races: directed scheduling "
+             "confirms each candidate pair with a replayable witness")
+    val_p.add_argument("target",
+                       help="a .ltrc log, a telemetry report.json, or (with "
+                            "--source static) a workload name")
+    val_p.add_argument("--source", default="auto",
+                       choices=["auto", "log", "telemetry", "static"],
+                       help="where the candidate pairs come from "
+                            "(default: guess from the target)")
+    val_p.add_argument("--workload", default=None,
+                       help="workload that produced the log/report (used to "
+                            "rebuild the program)")
+    val_p.add_argument("--seed", type=int, default=1)
+    val_p.add_argument("--scale", type=float, default=1.0)
+    val_p.add_argument("--budget", type=int, default=5,
+                       help="directed attempts per pair (default 5)")
+    val_p.add_argument("--minimize", action="store_true",
+                       help="delta-debug confirmed witnesses to minimal "
+                            "reproducers")
+    val_p.add_argument("--out", default=None,
+                       help="write the validation report (JSON) here")
+    val_p.add_argument("--witness-dir", default=None,
+                       help="write witness traces here (default: derived "
+                            "from --out)")
+    val_p.add_argument("--suppressions-out", default=None,
+                       help="export infeasible pairs as suppression rules")
 
     an_p = sub.add_parser(
         "analyze", help="offline analysis of a saved event log")
@@ -413,7 +575,8 @@ def main(argv=None) -> int:
 
     submit_p = sub.add_parser(
         "submit", help="stream a saved event log to a telemetry server")
-    submit_p.add_argument("log", help="a .ltrc file written by run --log-out")
+    submit_p.add_argument("log", nargs="?", default=None,
+                          help="a .ltrc file written by run --log-out")
     submit_p.add_argument("--connect", required=True, metavar="ADDR",
                           help="server address (unix:PATH or tcp:HOST:PORT)")
     submit_p.add_argument("--name", default=None,
@@ -422,6 +585,9 @@ def main(argv=None) -> int:
                           help="events per wire segment (default 512)")
     submit_p.add_argument("--compress", action="store_true",
                           help="zlib-compress segment payloads")
+    submit_p.add_argument("--verdicts", default=None, metavar="FILE",
+                          help="also attach validation verdicts from a "
+                               "repro validate --out report")
 
     status_p = sub.add_parser(
         "status", help="query a telemetry server's counters and report")
@@ -438,7 +604,8 @@ def main(argv=None) -> int:
     handler = {"list": _cmd_list, "run": _cmd_run,
                "analyze": _cmd_analyze, "compare": _cmd_compare,
                "staticpass": _cmd_staticpass, "serve": _cmd_serve,
-               "submit": _cmd_submit, "status": _cmd_status}
+               "submit": _cmd_submit, "status": _cmd_status,
+               "validate": _cmd_validate}
     return handler[args.command](args)
 
 

@@ -11,7 +11,7 @@ the sampling context needed to judge coverage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.tables import format_percent, format_slowdown
 from ..detector.races import RaceReport
@@ -60,8 +60,15 @@ def triage(program: Program, report: RaceReport,
 
 
 def render_triage(program: Program, result: AnalysisResult,
-                  title: Optional[str] = None) -> str:
-    """A complete triage document for one LiteRace run."""
+                  title: Optional[str] = None,
+                  verdicts: Optional[Dict[Tuple[int, int], str]] = None
+                  ) -> str:
+    """A complete triage document for one LiteRace run.
+
+    ``verdicts`` optionally maps race keys to validation verdict strings
+    (:mod:`repro.validate`) — confirmed races are labeled as proven, with
+    a replayable witness, instead of merely observed.
+    """
     lines: List[str] = []
     heading = title or f"LiteRace triage report: {program.name}"
     lines.append(heading)
@@ -83,6 +90,7 @@ def render_triage(program: Program, result: AnalysisResult,
             f"may include false positives (see §4.2)"
         )
     races = triage(program, result.report, run.nonstack_memory_ops)
+    keys = [(pc1, pc2) for pc1, pc2, _ in result.report.summary_rows()]
     if not races:
         lines.append("")
         lines.append("No data races detected.  (Sampling can miss races; "
@@ -93,10 +101,20 @@ def render_triage(program: Program, result: AnalysisResult,
     lines.append("")
     lines.append(f"{len(races)} static data race(s), "
                  f"{result.report.num_dynamic} dynamic occurrence(s):")
-    for index, race in enumerate(races, 1):
+    for index, (race, key) in enumerate(zip(races, keys), 1):
         lines.append(f"\n[{index}] {race.headline()}")
         lines.append(f"    example: address {race.example_addr:#x}, "
                      f"threads {race.threads[0]} and {race.threads[1]}")
+        verdict = (verdicts or {}).get(key)
+        if verdict == "confirmed":
+            lines.append("    validated: CONFIRMED — directed scheduling "
+                         "reproduced this race; witness schedule attached")
+        elif verdict == "infeasible":
+            lines.append("    validated: INFEASIBLE — ordering provably "
+                         "blocked by synchronization; safe to suppress")
+        elif verdict == "unconfirmed":
+            lines.append("    validated: UNCONFIRMED — not reproduced "
+                         "within the attempt budget")
         if race.rare:
             lines.append("    note: manifested rarely — exactly the class "
                          "of race sampling-based detection targets (§3.4)")

@@ -13,6 +13,10 @@ or everything at once (regenerates the EXPERIMENTS.md numbers)::
 All commands accept ``--jobs N`` (parallel cell execution, default all
 cores) and ``--no-cache`` (bypass the persistent artifact cache); see
 docs/experiment_engine.md.
+
+The directed-validation study (``python -m repro.experiments.validation``)
+is standalone-only: its cost is directed *executions*, not cached cells,
+so it stays out of the ``all`` sweep.
 """
 
 import importlib

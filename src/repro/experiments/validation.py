@@ -1,0 +1,133 @@
+"""Validation study: confirmation rate vs. directed-attempt budget.
+
+The race-validation engine (:mod:`repro.validate`) claims that directed
+scheduling — park one thread immediately before a candidate access until a
+partner reaches the other — confirms real races in very few attempts.
+This study quantifies that claim on workloads with planted races: detect
+races with full logging, then validate every reported pair at increasing
+attempt budgets and measure
+
+* **confirmation rate** — confirmed pairs / reported pairs (the engine's
+  acceptance bar is >= 90% at the default budget);
+* **attempts used** — how many directed executions the average
+  confirmation took (pause-at-access should land on attempt 1);
+* **witness size** — steps and context switches of the recorded witness,
+  before and after delta-debug minimization.
+
+Every confirmed pair's witness is verified by strict replay as part of
+validation itself, so the rates below count *proven* races only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..analysis.tables import format_percent, format_table
+from ..core.harness import ProfilingHarness
+from ..core.samplers import make_sampler
+from ..detector.hb import detect_races
+from ..detector.merge import merge_thread_logs
+from ..runtime.executor import Executor
+from ..runtime.scheduler import RandomInterleaver
+from .. import workloads
+from ..validate import (
+    DirectorConfig,
+    minimize_witness,
+    pairs_from_report,
+    validate_pairs,
+)
+from .common import experiment_main, paper_note
+
+__all__ = ["run"]
+
+#: Workloads small enough to run dozens of directed executions per pair.
+DEFAULT_BENCHMARKS = ("synthetic", "apache-2")
+
+DEFAULT_BUDGETS = (1, 2, 4, 8)
+
+
+def _detect_pairs(program, seed: int):
+    harness = ProfilingHarness(make_sampler("Full"))
+    executor = Executor(program, scheduler=RandomInterleaver(seed=seed),
+                       harness=harness)
+    executor.run()
+    merged = merge_thread_logs(harness.log)
+    return pairs_from_report(detect_races(merged.events))
+
+
+def run(scale: float = 1.0, seeds: Iterable[int] = (1, 2, 3),
+        jobs: int = None, use_cache: bool = None,
+        budgets: Sequence[int] = DEFAULT_BUDGETS,
+        benchmarks: Sequence[str] = DEFAULT_BENCHMARKS) -> str:
+    # One directed execution per attempt per pair dominates the cost, so
+    # the sweep caps the scale like the other ablations do.  ``jobs`` and
+    # ``use_cache`` are accepted for CLI uniformity; validation runs are
+    # schedule-perturbed executions that must not be served from the
+    # experiment engine's cell cache.
+    scale = min(scale, 0.2)
+    seed = next(iter(tuple(seeds)))
+
+    rows: List[List[str]] = []
+    failures: List[str] = []
+    for name in benchmarks:
+        if name not in workloads.names():
+            continue
+        program = workloads.build(name, seed=seed, scale=scale)
+        pairs = _detect_pairs(program, seed)
+        if not pairs:
+            rows.append([name, "0", "-", "-", "-", "-", "-"])
+            continue
+        for budget in budgets:
+            config = DirectorConfig(budget=budget, base_seed=seed)
+            report = validate_pairs(program, pairs, config=config,
+                                    workload=name, seed=seed, scale=scale,
+                                    source="study")
+            confirmed = report.confirmed
+            rate = len(confirmed) / len(pairs)
+            attempts = (sum(v.attempts for v in confirmed) / len(confirmed)
+                        if confirmed else float("nan"))
+            if confirmed:
+                sample = confirmed[0]
+                witness = sample.witness
+                minimized = minimize_witness(program, witness, sample.pair)
+                shrink = (f"{witness.num_switches} -> "
+                          f"{minimized.witness.num_switches} switches")
+            else:
+                shrink = "-"
+            rows.append([
+                name,
+                f"{len(pairs)}",
+                f"{budget}",
+                f"{len(confirmed)}/{len(pairs)}",
+                format_percent(rate),
+                f"{attempts:.1f}" if confirmed else "-",
+                shrink,
+            ])
+            if budget == max(budgets) and rate < 0.9:
+                failures.append(
+                    f"{name}: {format_percent(rate)} at budget {budget}")
+
+    table = format_table(
+        ["workload", "pairs", "budget", "confirmed", "rate",
+         "avg attempts", "witness minimized"],
+        rows,
+        title=f"Directed race validation: confirmation rate vs. attempt "
+              f"budget (scale {scale}, seed {seed})",
+    )
+    if failures:
+        verdict = ("VALIDATION: FAIL — below the 90% bar at max budget:\n"
+                   + "\n".join(f"  {line}" for line in failures))
+    else:
+        verdict = ("VALIDATION: PASS — every workload confirms >= 90% of "
+                   "reported races at the maximum budget, each with a "
+                   "strict-replay-verified witness")
+    return table + "\n" + verdict + paper_note(
+        "Pause-at-access mirrors DataCollider's breakpoint strategy; "
+        "because a parked step performs no work, dropping it from the "
+        "recording yields a witness that replays on an unmodified "
+        "executor (docs/race_validation.md)."
+    )
+
+
+if __name__ == "__main__":
+    experiment_main(run, __doc__.splitlines()[0])

@@ -75,3 +75,8 @@ class ChaosScheduler(Scheduler):
         return ChaosScheduler(seed=self.seed * 7_919 + index + 1,
                               change_points=self.change_points,
                               expected_steps=self.expected_steps)
+
+    def fresh(self) -> "ChaosScheduler":
+        return ChaosScheduler(seed=self.seed,
+                              change_points=self.change_points,
+                              expected_steps=self.expected_steps)

@@ -35,7 +35,8 @@ from .scheduler import RandomInterleaver, Scheduler
 from .sync import Event, Mutex
 from .thread_state import Frame, ThreadState, ThreadStatus
 
-__all__ = ["Executor", "Harness", "RunResult", "DeadlockError", "ExecutionLimitError"]
+__all__ = ["Executor", "Harness", "AccessGate", "RunResult", "DeadlockError",
+           "ExecutionLimitError"]
 
 
 class DeadlockError(RuntimeError):
@@ -44,6 +45,32 @@ class DeadlockError(RuntimeError):
 
 class ExecutionLimitError(RuntimeError):
     """The run exceeded ``max_steps`` (defends against runaway programs)."""
+
+
+class AccessGate:
+    """Pre-access trap interface used by directed schedulers.
+
+    When an executor carries a gate, every Read/Write consults it *before*
+    the access takes effect.  Returning True parks the thread (it blocks and
+    the step completes without the access happening); the gate re-decides on
+    every subsequent step of that thread until it answers False, at which
+    point the access proceeds.  A parked step performs no work and emits no
+    events, so a recorded schedule with parked steps removed replays the
+    identical execution on a gate-less executor — the property the race
+    validator's witness traces are built on.
+
+    Gates wake parked threads via :meth:`Executor.wake_thread`; if every
+    live thread ends up blocked while the gate holds threads parked, the
+    executor asks the gate to release them instead of declaring deadlock.
+    """
+
+    def on_access(self, tid: int, pc: int, addr: int, is_write: bool) -> bool:
+        """Return True to park ``tid`` immediately before this access."""
+        raise NotImplementedError
+
+    def release_all(self) -> bool:
+        """Unpark everything (deadlock fallback); True if anything woke."""
+        return False
 
 
 class Harness:
@@ -143,12 +170,18 @@ class Executor:
         harness: Optional[Harness] = None,
         max_steps: int = 200_000_000,
         pruned_pcs: Optional[FrozenSet[int]] = None,
+        gate: Optional["AccessGate"] = None,
     ):
         self.program = program
         self.scheduler = scheduler if scheduler is not None else RandomInterleaver()
         self.cost = cost_model
         self.harness = harness
         self.max_steps = max_steps
+        #: Optional pre-access trap (see :class:`AccessGate`).  ``None`` for
+        #: every normal run: the gate check then compiles to nothing, so
+        #: ungated executions take exactly the same steps as before the
+        #: gate existed — the determinism contract replay relies on.
+        self.gate = gate
         #: Read/Write PCs whose logging call the static pass pruned from
         #: the instrumented clone; the executor models the missing call by
         #: skipping the memory hook (no log record, no log-cost cycles).
@@ -240,6 +273,10 @@ class Executor:
     def _wake(self, tid: int) -> None:
         self._threads[tid].status = ThreadStatus.RUNNABLE
 
+    def wake_thread(self, tid: int) -> None:
+        """Unpark a thread a gate previously parked (gate use only)."""
+        self._wake(tid)
+
     # ------------------------------------------------------------------
     # Interpreter (generator per thread; one yield per instruction)
     # ------------------------------------------------------------------
@@ -274,13 +311,25 @@ class Executor:
     # -- instruction handlers (each yields >= 1 time) ---------------------
     def _do_read(self, thread, frame, instr: ops.Read, instrumented):
         addr = resolve_addr(instr.addr, frame)
+        if self.gate is not None:
+            yield from self._gate_wait(thread, instr.pc, addr, False)
         self._account_memory(thread, addr, instr.pc, False, instrumented)
         yield
 
     def _do_write(self, thread, frame, instr: ops.Write, instrumented):
         addr = resolve_addr(instr.addr, frame)
+        if self.gate is not None:
+            yield from self._gate_wait(thread, instr.pc, addr, True)
         self._account_memory(thread, addr, instr.pc, True, instrumented)
         yield
+
+    def _gate_wait(self, thread: ThreadState, pc: int, addr: int,
+                   is_write: bool) -> Generator[None, None, None]:
+        # Each parked yield is a step with no effect and no events; the gate
+        # (via wake_thread) decides when the access may finally proceed.
+        while self.gate.on_access(thread.tid, pc, addr, is_write):
+            self._block(thread)
+            yield
 
     def _account_memory(self, thread: ThreadState, addr: int, pc: int,
                         is_write: bool, instrumented: bool) -> None:
@@ -443,6 +492,8 @@ class Executor:
                 if t.status is ThreadStatus.RUNNABLE
             ]
             if not runnable:
+                if self.gate is not None and self.gate.release_all():
+                    continue  # a parked thread was the only way forward
                 blocked = [
                     t.tid for t in self._threads.values()
                     if t.status is ThreadStatus.BLOCKED

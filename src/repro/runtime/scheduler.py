@@ -28,7 +28,24 @@ class Scheduler:
         raise NotImplementedError
 
     def fork_seed(self, index: int) -> "Scheduler":
-        """A scheduler of the same policy with a derived seed (for re-runs)."""
+        """A scheduler of the same policy with a derived seed (for re-runs).
+
+        Distinct ``index`` values must yield distinct decision streams, and
+        every derived stream must differ from the parent's — the race
+        validator (:mod:`repro.validate`) relies on this to explore a fresh
+        interleaving per attempt.
+        """
+        raise NotImplementedError
+
+    def fresh(self) -> "Scheduler":
+        """A pristine scheduler with this one's configuration.
+
+        Schedulers carry mutable decision state (RNG position, quantum
+        countdowns, priorities), so an instance that has driven one
+        execution must never be reused for another: determinism — the
+        invariant record/replay depends on — requires a fresh instance per
+        run.
+        """
         raise NotImplementedError
 
 
@@ -59,6 +76,9 @@ class RandomInterleaver(Scheduler):
     def fork_seed(self, index: int) -> "RandomInterleaver":
         return RandomInterleaver(seed=self.seed * 1_000_003 + index + 1,
                                  switch_prob=self.switch_prob)
+
+    def fresh(self) -> "RandomInterleaver":
+        return RandomInterleaver(seed=self.seed, switch_prob=self.switch_prob)
 
 
 class RoundRobinScheduler(Scheduler):
@@ -91,4 +111,9 @@ class RoundRobinScheduler(Scheduler):
         return chosen
 
     def fork_seed(self, index: int) -> "RoundRobinScheduler":
-        return RoundRobinScheduler(quantum=self.quantum + index)
+        # index 0 must not reproduce the parent's quantum (and therefore its
+        # exact decision stream) — every derived policy is a new interleaving.
+        return RoundRobinScheduler(quantum=self.quantum + index + 1)
+
+    def fresh(self) -> "RoundRobinScheduler":
+        return RoundRobinScheduler(quantum=self.quantum)

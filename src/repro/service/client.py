@@ -40,6 +40,7 @@ from .protocol import (
     T_SEGMENT,
     T_SHUTDOWN,
     T_STATUS,
+    T_VERDICTS,
     connect_to,
     decode_json,
     recv_frame,
@@ -146,6 +147,17 @@ class TelemetryClient:
             merge_inconsistencies=merged.inconsistencies,
             races=int(body.get("races", 0)),
         )
+
+    def submit_verdicts(self, rows: List[Dict[str, Any]]) -> int:
+        """Attach validation verdicts to the fleet report.
+
+        Each row is ``{"pcs": [pc, pc], "verdict": "confirmed" |
+        "unconfirmed" | "infeasible"}`` — the wire shape of
+        :meth:`repro.validate.ValidationReport.to_json` verdict entries.
+        Returns how many rows the server accepted.
+        """
+        body = self._request_json(T_VERDICTS, {"verdicts": rows})
+        return int(body.get("verdicts", 0))
 
     def status(self) -> Dict[str, Any]:
         return self._request(T_STATUS)

@@ -19,8 +19,14 @@ Frame types::
     END      client -> server   {"segments": N}          -> OK {report stats}
     STATUS   any    -> server   {}                       -> OK {counters}
     REPORT   any    -> server   {}                       -> OK {report}
+    VERDICTS any    -> server   {"verdicts": [...]}      -> OK {"verdicts": N}
     SHUTDOWN any    -> server   {}                       -> OK {}
     ERR      server -> client   {"error": ...}
+
+VERDICTS rows are ``{"pcs": [pc, pc], "verdict": "confirmed" |
+"unconfirmed" | "infeasible"}`` — the output of ``repro validate``
+(:mod:`repro.validate`) fed back so the fleet report can label each
+deduplicated race with its validation status.
 
 Addresses are spelled ``unix:/path/to.sock`` or ``tcp:host:port``
 (:func:`parse_address`), the same syntax the CLI flags take.
@@ -37,6 +43,7 @@ from ..detector.races import RaceInstance, RaceReport
 
 __all__ = [
     "T_HELLO", "T_SEGMENT", "T_END", "T_STATUS", "T_REPORT", "T_SHUTDOWN",
+    "T_VERDICTS",
     "T_OK", "T_ACK", "T_ERR",
     "ProtocolError", "ConnectionClosed",
     "send_frame", "recv_frame", "send_json", "decode_json",
@@ -50,6 +57,7 @@ T_END = 3
 T_STATUS = 4
 T_REPORT = 5
 T_SHUTDOWN = 6
+T_VERDICTS = 7
 
 T_OK = 0x80
 T_ACK = 0x81

@@ -59,6 +59,7 @@ from .protocol import (
     T_SEGMENT,
     T_SHUTDOWN,
     T_STATUS,
+    T_VERDICTS,
     bind_listener,
     decode_json,
     recv_frame,
@@ -67,6 +68,7 @@ from .protocol import (
     send_json,
 )
 from .shard import worker_main
+from ..validate.verdict import RaceVerdict, strongest_verdict
 
 __all__ = ["TelemetryServer"]
 
@@ -171,7 +173,12 @@ class TelemetryServer:
             "segment_errors": 0,
             "worker_failures": 0,
             "snapshot_errors": 0,
+            "verdicts_received": 0,
         }
+        #: Validation verdicts keyed by (pc_low, pc_high); merged with
+        #: CONFIRMED > INFEASIBLE > UNCONFIRMED precedence so a weaker
+        #: verdict from one submitter never downgrades a proof from another.
+        self._verdicts: Dict[tuple, str] = {}
         self._dispatched: Dict[int, int] = {s: 0 for s in range(self.num_shards)}
         self._acked: Dict[int, int] = {s: 0 for s in range(self.num_shards)}
 
@@ -597,6 +604,40 @@ class TelemetryServer:
             send_json(conn, T_OK, self.fleet_report())
             return client_id, False
 
+        if frame_type == T_VERDICTS:
+            body = self._decode_body(conn, payload)
+            if body is None:
+                return client_id, False
+            rows = body.get("verdicts")
+            if not isinstance(rows, list):
+                self._protocol_error(conn, "VERDICTS needs a verdicts list")
+                return client_id, False
+            accepted = 0
+            try:
+                parsed = []
+                for row in rows:
+                    pcs = row["pcs"]
+                    low, high = sorted((int(pcs[0]), int(pcs[1])))
+                    value = RaceVerdict(str(row["verdict"])).value
+                    parsed.append(((low, high), value))
+            except (KeyError, IndexError, TypeError, ValueError) as exc:
+                self._protocol_error(conn, f"bad verdict row: {exc}")
+                return client_id, False
+            with self._mu:
+                for key, value in parsed:
+                    known = self._verdicts.get(key)
+                    self._verdicts[key] = (
+                        value if known is None
+                        else strongest_verdict(known, value))
+                    accepted += 1
+                self._counters["verdicts_received"] += accepted
+                try:
+                    self._write_snapshot()
+                except Exception:
+                    self._counters["snapshot_errors"] += 1
+            send_json(conn, T_OK, {"verdicts": accepted})
+            return client_id, False
+
         if frame_type == T_SHUTDOWN:
             send_json(conn, T_OK, {})
             self.shutdown_requested.set()
@@ -658,6 +699,7 @@ class TelemetryServer:
                 "shard_lag": lag,
                 "clients_pending": pending,
                 "races_found": merged.num_static,
+                "verdicts_known": len(self._verdicts),
             }
 
     def fleet_report(self) -> Dict[str, Any]:
@@ -670,10 +712,14 @@ class TelemetryServer:
                     self._suppressions.split(merged, self._program))
                 suppressed = dropped.num_static
             wire = report_to_wire(merged)
-            if self._program is not None:
-                for row in wire["races"]:
+            for row in wire["races"]:
+                if self._program is not None:
                     row["symbols"] = [self._program.symbolize(pc)
                                       for pc in row["pcs"]]
+                key = (min(row["pcs"]), max(row["pcs"]))
+                verdict = self._verdicts.get(key)
+                if verdict is not None:
+                    row["verdict"] = verdict
             pending = sum(
                 1 for c in self._clients.values()
                 if not c.aborted and not c.completed.is_set())
@@ -704,6 +750,9 @@ class TelemetryServer:
         with open(path, "r", encoding="utf-8") as handle:
             snapshot = json.load(handle)
         self._baseline_report = report_from_wire(snapshot["report"])
+        for key, value in snapshot.get("verdicts", {}).items():
+            low, high = key.split(",", 1)
+            self._verdicts[(int(low), int(high))] = RaceVerdict(value).value
 
     def _write_snapshot(self) -> None:
         path = self._snapshot_path()
@@ -711,7 +760,11 @@ class TelemetryServer:
             return
         import json
 
-        snapshot = {"report": report_to_wire(self._merged_report())}
+        snapshot = {
+            "report": report_to_wire(self._merged_report()),
+            "verdicts": {f"{low},{high}": value
+                         for (low, high), value in self._verdicts.items()},
+        }
         tmp_path = f"{path}.tmp"
         try:
             with open(tmp_path, "w", encoding="utf-8") as handle:

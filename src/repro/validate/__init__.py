@@ -1,0 +1,201 @@
+"""Active race validation: record/replay, directed confirmation, verdicts.
+
+The detector pipeline ends with a *report*: PC pairs that raced under some
+sampled execution, candidate pairs from the static pass, aggregated pairs
+from the telemetry fleet.  This package turns reports into *proofs*:
+
+* :mod:`.trace` / :mod:`.replay` — record every scheduling decision of a
+  run into a compact binary trace; strict replay reproduces the execution
+  event for event (byte-identical logs, identical race report).
+* :mod:`.director` — directed confirmation: park a thread immediately
+  before one access of a candidate pair until a partner reaches the other
+  (DataCollider-style pause-at-access), with a bounded-preemption jitter
+  fallback.  A confirming run's recording is a replayable witness.
+* :mod:`.minimize` — delta-debug a witness down to a minimal reproducer.
+* :mod:`.verdict` — per-pair CONFIRMED / UNCONFIRMED / INFEASIBLE
+  verdicts, serialized with their witnesses and exported to triage,
+  suppressions, and the telemetry service.
+
+:func:`validate_pairs` is the one-call entry point the CLI uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..detector.hb import detect_races
+from ..detector.merge import merge_thread_logs
+from ..detector.races import RaceReport
+from ..eventlog.log import EventLog
+from ..staticpass import analyze as static_analyze
+from ..staticpass.report import StaticReport
+from ..tir.ops import Read, Write
+from ..tir.program import Program
+from .director import (
+    ConfirmOutcome,
+    DirectedScheduler,
+    DirectorConfig,
+    PairTrap,
+    confirm_pair,
+    normalize_pair,
+    pair_raced,
+    replay_witness,
+    run_attempt,
+)
+from .minimize import MinimizeResult, minimize_witness
+from .replay import GuidedReplayScheduler, ReplayDivergence, ReplayScheduler
+from .trace import RecordingScheduler, ScheduleTrace, TraceError
+from .verdict import (
+    PairVerdict,
+    RaceVerdict,
+    ValidationReport,
+    VERDICT_PRECEDENCE,
+    strongest_verdict,
+)
+
+__all__ = [
+    "ScheduleTrace", "RecordingScheduler", "TraceError",
+    "ReplayScheduler", "GuidedReplayScheduler", "ReplayDivergence",
+    "PairTrap", "DirectedScheduler", "DirectorConfig", "ConfirmOutcome",
+    "confirm_pair", "run_attempt", "pair_raced", "replay_witness",
+    "normalize_pair",
+    "MinimizeResult", "minimize_witness",
+    "RaceVerdict", "PairVerdict", "ValidationReport",
+    "VERDICT_PRECEDENCE", "strongest_verdict",
+    "prove_infeasible", "validate_pairs",
+    "pairs_from_report", "pairs_from_log", "pairs_from_static",
+    "pairs_from_telemetry",
+]
+
+Pair = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# Candidate-pair extraction (the director validates pairs from any source)
+# ----------------------------------------------------------------------
+def pairs_from_report(report: RaceReport) -> List[Pair]:
+    """Race keys of a dynamic :class:`RaceReport`, most frequent first."""
+    return [key for key, _ in sorted(report.occurrences.items(),
+                                     key=lambda item: (-item[1], item[0]))]
+
+
+def pairs_from_log(log: EventLog) -> List[Pair]:
+    """Merge a raw event log and extract its detected race pairs."""
+    merged = merge_thread_logs(log)
+    return pairs_from_report(detect_races(merged.events))
+
+
+def pairs_from_static(static_report: StaticReport) -> List[Pair]:
+    """All surviving candidate pairs of the static pass."""
+    return sorted(static_report.candidate_pairs)
+
+
+def pairs_from_telemetry(payload: Dict) -> List[Pair]:
+    """Pairs from telemetry JSON: a snapshot (``{"report": ...}``), a
+    fleet report, or a raw wire report (``{"races": [...]}``)."""
+    if "report" in payload and isinstance(payload["report"], dict):
+        payload = payload["report"]
+    pairs: List[Pair] = []
+    for row in payload.get("races", []):
+        pcs = row.get("pcs")
+        if not pcs or len(pcs) != 2:
+            continue
+        pairs.append(normalize_pair(pcs))
+    # Preserve fleet ordering (already most-frequent-first), dedup.
+    seen = set()
+    unique = []
+    for pair in pairs:
+        if pair not in seen:
+            seen.add(pair)
+            unique.append(pair)
+    return unique
+
+
+# ----------------------------------------------------------------------
+# Infeasibility proofs
+# ----------------------------------------------------------------------
+def prove_infeasible(program: Program, static_report: StaticReport,
+                     pair: Pair) -> Optional[str]:
+    """A human-readable proof that ``pair`` cannot race, or None.
+
+    Two sound arguments are accepted: a PC that is not a memory access
+    cannot participate in a data race at all, and a pair the static pass
+    ruled out is ordered by synchronization on every execution (the pass's
+    soundness contract guarantees every dynamically reportable pair
+    survives as a candidate).
+    """
+    for pc in pair:
+        try:
+            instr = program.instr_at(pc)
+        except KeyError:
+            return f"pc {pc} is not in program {program.name!r}"
+        if not isinstance(instr, (Read, Write)):
+            return f"pc {pc} is not a memory access"
+    low, high = pair
+    if pair not in static_report.candidate_pairs:
+        return "statically proven ordered (not a candidate pair)"
+    for pc in (low, high):
+        verdict = static_report.verdicts.get(pc)
+        if verdict is not None and verdict.safe:
+            return (f"statically proven race-free access at pc {pc} "
+                    f"({verdict.value})")
+    return None
+
+
+# ----------------------------------------------------------------------
+# The entry point
+# ----------------------------------------------------------------------
+def validate_pairs(program: Program, pairs: Iterable[Sequence[int]], *,
+                   config: Optional[DirectorConfig] = None,
+                   minimize: bool = False,
+                   static_report: Optional[StaticReport] = None,
+                   workload: str = "", seed: int = 0, scale: float = 1.0,
+                   source: str = "") -> ValidationReport:
+    """Validate every candidate pair; return the per-pair verdicts.
+
+    For each pair: first try to *prove it cannot race* (static argument →
+    INFEASIBLE, no attempts spent); otherwise spend the director's attempt
+    budget trying to *make it race* (witness-verified CONFIRMED, optionally
+    minimized); otherwise UNCONFIRMED.
+    """
+    config = config or DirectorConfig()
+    if static_report is None:
+        static_report = static_analyze(program)
+    report = ValidationReport(
+        program_name=program.name, workload=workload, seed=seed,
+        scale=scale, budget=config.budget, source=source,
+    )
+    seen = set()
+    for raw_pair in pairs:
+        pair = normalize_pair(raw_pair)
+        if pair in seen:
+            continue
+        seen.add(pair)
+        proof = prove_infeasible(program, static_report, pair)
+        if proof is not None:
+            report.verdicts.append(PairVerdict(
+                pair=pair, verdict=RaceVerdict.INFEASIBLE, note=proof))
+            continue
+        outcome = confirm_pair(program, pair, config)
+        if not outcome.confirmed:
+            report.verdicts.append(PairVerdict(
+                pair=pair, verdict=RaceVerdict.UNCONFIRMED,
+                attempts=outcome.attempts,
+                note="; ".join(outcome.notes)))
+            continue
+        witness = outcome.witness
+        note = ""
+        if minimize and witness is not None:
+            result = minimize_witness(program, witness, pair,
+                                      tool_seed=config.tool_seed)
+            witness = result.witness
+            if result.reduced:
+                note = (f"minimized {len(result.original)}->"
+                        f"{len(witness)} steps, "
+                        f"{result.original.num_switches}->"
+                        f"{witness.num_switches} switches")
+        report.verdicts.append(PairVerdict(
+            pair=pair, verdict=RaceVerdict.CONFIRMED,
+            attempts=outcome.attempts, mode=outcome.mode,
+            witness=witness, note=note))
+    return report

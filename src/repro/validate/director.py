@@ -1,0 +1,438 @@
+"""Directed confirmation: drive the executor to make a candidate pair race.
+
+DataCollider-style pause-at-access on top of the instruction-granular
+scheduler: a :class:`PairTrap` (an executor :class:`AccessGate`) parks the
+first thread to arrive immediately *before* one PC of the candidate pair
+and holds it there until another thread reaches the other PC on the same
+address; the trap then releases both so the two conflicting accesses
+execute back to back with no synchronization between them.  If no partner
+shows up the park times out and the run continues unharmed.
+
+A fallback perturbation mode ("jitter") reuses the same trap to inject
+short bounded pauses at the candidate PCs — preemption injection around
+the pair — for races the pause protocol alone cannot line up.
+
+Every attempt is recorded; a confirming attempt's schedule, with the parked
+(no-effect) steps dropped, is a witness trace that strict-replays on a
+plain, gate-less executor and deterministically re-triggers the race.
+
+Feasibility proofs are delegated to the static pass: a pair the
+whole-program analysis rules out (both orderings blocked by sync — e.g. a
+common dominating lock) is INFEASIBLE without spending any attempts, and
+soundness of that verdict is the static pass's already-tested contract.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.harness import ProfilingHarness
+from ..core.samplers import make_sampler
+from ..core.tracker import TimestampTracker
+from ..detector.merge import merge_thread_logs
+from ..detector.vectorclock import VectorClock
+from ..eventlog.events import Event, MemoryEvent, SyncKind
+from ..eventlog.log import EventLog
+from ..runtime.executor import AccessGate, Executor, RunResult
+from ..runtime.scheduler import RandomInterleaver, Scheduler
+from ..tir.program import Program
+from .trace import RecordingScheduler, ScheduleTrace
+
+__all__ = [
+    "PairTrap",
+    "DirectedScheduler",
+    "AttemptResult",
+    "DirectorConfig",
+    "ConfirmOutcome",
+    "pair_raced",
+    "run_attempt",
+    "confirm_pair",
+    "replay_witness",
+]
+
+#: Normalized race key: (low pc, high pc).
+Pair = Tuple[int, int]
+
+
+def normalize_pair(pair: Sequence[int]) -> Pair:
+    first, second = pair
+    return (first, second) if first <= second else (second, first)
+
+
+# ----------------------------------------------------------------------
+# The trap (an executor AccessGate)
+# ----------------------------------------------------------------------
+class PairTrap(AccessGate):
+    """Park-at-access gate for one candidate PC pair.
+
+    ``mode="pause"`` implements the pause-until-partner protocol;
+    ``mode="jitter"`` parks arrivals for a short seeded-random number of
+    steps regardless of partners (bounded preemption injection).
+    """
+
+    def __init__(self, pair: Sequence[int], *, mode: str = "pause",
+                 park_timeout: int = 4000, max_parks: int = 64,
+                 jitter_max: int = 8, rng_seed: int = 0,
+                 recorder: Optional[RecordingScheduler] = None):
+        if mode not in ("pause", "jitter"):
+            raise ValueError(f"unknown trap mode {mode!r}")
+        self.pc_low, self.pc_high = normalize_pair(pair)
+        self.mode = mode
+        self.park_timeout = park_timeout
+        self.max_parks = max_parks
+        self.jitter_max = max(1, jitter_max)
+        self.recorder = recorder
+        self._rng = random.Random(rng_seed)
+        self._executor: Optional[Executor] = None
+
+        self.parks = 0
+        self.matched = False
+        self._done = False
+        self._parked_tid: Optional[int] = None
+        self._parked_pc = 0
+        self._parked_addr = 0
+        self._parked_is_write = False
+        self._parked_steps = 0
+        self._parked_deadline = 0
+        self._released: set = set()
+        self._priority: List[int] = []
+        #: Times the executor hit the no-runnable fallback while a thread
+        #: was parked — evidence the parked thread gated all progress.
+        self.forced_releases = 0
+
+    def attach(self, executor: Executor) -> "PairTrap":
+        self._executor = executor
+        return self
+
+    # -- AccessGate interface ------------------------------------------
+    def on_access(self, tid: int, pc: int, addr: int, is_write: bool) -> bool:
+        if tid in self._released:
+            self._released.discard(tid)
+            return False
+        if self._done or (pc != self.pc_low and pc != self.pc_high):
+            return False
+        if self._parked_tid is None:
+            if self.parks >= self.max_parks:
+                return False
+            self._park(tid, pc, addr, is_write)
+            return True
+        if tid == self._parked_tid:
+            # A parked thread only re-enters via the released path above.
+            return False
+        if self.mode != "pause":
+            return False
+        other = self.pc_high if self._parked_pc == self.pc_low else self.pc_low
+        if (pc == other and addr == self._parked_addr
+                and (is_write or self._parked_is_write)):
+            # Pair complete: this access proceeds now, the parked partner
+            # runs immediately after — conflicting accesses back to back.
+            self.matched = True
+            self._done = True
+            self._release_parked()
+            return False
+        return False
+
+    def release_all(self) -> bool:
+        if self._parked_tid is None:
+            return False
+        self.forced_releases += 1
+        self._release_parked()
+        return True
+
+    # -- scheduler hooks ------------------------------------------------
+    def on_step(self) -> None:
+        """Called once per scheduling decision (timeout bookkeeping)."""
+        if self._parked_tid is None:
+            return
+        self._parked_steps += 1
+        if self._parked_steps > self._parked_deadline:
+            self._release_parked()
+
+    def take_priority(self, runnable: Sequence[int]) -> Optional[int]:
+        """A tid that must run next (the just-released partner), if any."""
+        while self._priority:
+            tid = self._priority[0]
+            if tid in runnable:
+                return self._priority.pop(0)
+            if self._executor is not None and tid in self._released:
+                # Still waking up; hold the priority until it is runnable.
+                return None
+            self._priority.pop(0)
+        return None
+
+    # -- internals -------------------------------------------------------
+    def _park(self, tid: int, pc: int, addr: int, is_write: bool) -> None:
+        self.parks += 1
+        self._parked_tid = tid
+        self._parked_pc = pc
+        self._parked_addr = addr
+        self._parked_is_write = is_write
+        self._parked_steps = 0
+        self._parked_deadline = (
+            self.park_timeout if self.mode == "pause"
+            else 1 + self._rng.randrange(self.jitter_max)
+        )
+        if self.recorder is not None:
+            # The decision that stepped this thread produced no effect.
+            self.recorder.mark_no_effect()
+
+    def _release_parked(self) -> None:
+        tid = self._parked_tid
+        self._parked_tid = None
+        if tid is None:
+            return
+        self._released.add(tid)
+        self._priority.append(tid)
+        if self._executor is not None:
+            self._executor.wake_thread(tid)
+
+
+class DirectedScheduler(Scheduler):
+    """Wrap a base policy with a trap's priorities and timeout ticks."""
+
+    def __init__(self, base: Scheduler, trap: PairTrap):
+        self.base = base
+        self.trap = trap
+
+    def next_thread(self, current: Optional[int],
+                    runnable: Sequence[int]) -> int:
+        self.trap.on_step()
+        tid = self.trap.take_priority(runnable)
+        if tid is not None:
+            return tid
+        return self.base.next_thread(current, runnable)
+
+    def fork_seed(self, index: int) -> "DirectedScheduler":
+        raise TypeError("fork the base policy, not the directed wrapper")
+
+    def fresh(self) -> "DirectedScheduler":
+        raise TypeError("traps are single-use; build a new attempt instead")
+
+
+# ----------------------------------------------------------------------
+# Targeted race check
+# ----------------------------------------------------------------------
+class _PairAccess:
+    __slots__ = ("tid", "pc", "is_write", "clock")
+
+    def __init__(self, tid: int, pc: int, is_write: bool, clock: VectorClock):
+        self.tid = tid
+        self.pc = pc
+        self.is_write = is_write
+        self.clock = clock
+
+
+def pair_raced(events: Iterable[Event], pair: Sequence[int], *,
+               window: int = 512, alloc_as_sync: bool = True) -> bool:
+    """Did the two PCs of ``pair`` race in this event stream?
+
+    Exhaustive-oracle vector clocks, but tracking only accesses whose PC
+    belongs to the pair, and comparing each new access against at most
+    ``window`` recent prior accesses per address.  Bounding the lookback
+    keeps the check linear on hot addresses and can only *miss* distant
+    races, never invent one — a True return is always a real race, which
+    is the soundness direction a CONFIRMED verdict needs.  The directed
+    trap makes confirming accesses adjacent, far inside any sane window.
+    """
+    pc_low, pc_high = normalize_pair(pair)
+    thread_vc: Dict[int, VectorClock] = {}
+    var_vc: Dict[Tuple[str, int], VectorClock] = {}
+    history: Dict[int, List[_PairAccess]] = {}
+
+    def vc_of(tid: int) -> VectorClock:
+        vc = thread_vc.get(tid)
+        if vc is None:
+            vc = VectorClock({tid: 1})
+            thread_vc[tid] = vc
+        return vc
+
+    for event in events:
+        if not isinstance(event, MemoryEvent):
+            if not alloc_as_sync and event.kind in (
+                SyncKind.ALLOC_PAGE, SyncKind.FREE_PAGE
+            ):
+                continue
+            tvc = vc_of(event.tid)
+            vvc = var_vc.get(event.var)
+            if event.is_acquire and vvc is not None:
+                tvc.join(vvc)
+            if event.is_release:
+                if vvc is None:
+                    vvc = VectorClock()
+                    var_vc[event.var] = vvc
+                vvc.join(tvc)
+                tvc.tick(event.tid)
+            continue
+        if event.pc != pc_low and event.pc != pc_high:
+            continue
+        clock = vc_of(event.tid).copy()
+        accesses = history.setdefault(event.addr, [])
+        other = pc_high if event.pc == pc_low else pc_low
+        for prior in reversed(accesses[-window:]):
+            if prior.tid == event.tid or prior.pc != other:
+                continue
+            if not (prior.is_write or event.is_write):
+                continue
+            if not prior.clock.leq(clock):
+                return True
+        accesses.append(
+            _PairAccess(event.tid, event.pc, event.is_write, clock))
+    return False
+
+
+# ----------------------------------------------------------------------
+# Attempts and the confirmation loop
+# ----------------------------------------------------------------------
+@dataclass
+class AttemptResult:
+    """One directed execution and what it proved."""
+
+    raced: bool
+    mode: str
+    trace: ScheduleTrace
+    log: EventLog
+    run: RunResult
+    parks: int
+    matched: bool
+    forced_releases: int
+
+
+@dataclass
+class DirectorConfig:
+    """Knobs of the confirmation loop (defaults sized for the workloads)."""
+
+    budget: int = 5
+    base_seed: int = 1
+    switch_prob: float = 0.1
+    tool_seed: int = 0
+    park_timeout: int = 4000
+    max_parks: int = 64
+    jitter_max: int = 8
+    check_window: int = 512
+    #: Attempts run in pause mode before falling back to jitter.
+    pause_attempts: Optional[int] = None
+
+    def mode_for(self, attempt: int) -> str:
+        pause = self.pause_attempts
+        if pause is None:
+            pause = max(1, self.budget - self.budget // 3)
+        return "pause" if attempt < pause else "jitter"
+
+
+@dataclass
+class ConfirmOutcome:
+    """The director's answer for one candidate pair."""
+
+    pair: Pair
+    confirmed: bool
+    attempts: int
+    mode: Optional[str] = None
+    witness: Optional[ScheduleTrace] = None
+    parks: int = 0
+    matched: bool = False
+    forced_releases: int = 0
+    notes: List[str] = field(default_factory=list)
+
+
+def _full_harness(tool_seed: int) -> ProfilingHarness:
+    # Validation wants ground truth on one execution: log everything.
+    return ProfilingHarness(
+        make_sampler("Full"),
+        tracker=TimestampTracker(seed=tool_seed),
+        seed=tool_seed,
+    )
+
+
+def run_attempt(program: Program, pair: Sequence[int],
+                scheduler: Scheduler, *, mode: str = "pause",
+                config: Optional[DirectorConfig] = None,
+                attempt: int = 0) -> AttemptResult:
+    """One recorded, gated execution aimed at manifesting ``pair``."""
+    config = config or DirectorConfig()
+    key = normalize_pair(pair)
+    trap = PairTrap(
+        key, mode=mode,
+        park_timeout=config.park_timeout,
+        max_parks=config.max_parks,
+        jitter_max=config.jitter_max,
+        rng_seed=config.base_seed * 65_537 + attempt,
+    )
+    recorder = RecordingScheduler(DirectedScheduler(scheduler, trap))
+    trap.recorder = recorder
+    harness = _full_harness(config.tool_seed)
+    executor = Executor(program, scheduler=recorder, harness=harness,
+                        gate=trap)
+    trap.attach(executor)
+    run = executor.run()
+    events = merge_thread_logs(harness.log).events
+    raced = pair_raced(events, key, window=config.check_window)
+    trace = recorder.trace(
+        meta={"kind": "witness", "pair": list(key), "mode": mode,
+              "attempt": attempt, "tool_seed": config.tool_seed},
+        drop_no_effect=True,
+    )
+    return AttemptResult(
+        raced=raced, mode=mode, trace=trace, log=harness.log, run=run,
+        parks=trap.parks, matched=trap.matched,
+        forced_releases=trap.forced_releases,
+    )
+
+
+def replay_witness(program: Program, witness: ScheduleTrace, *,
+                   tool_seed: Optional[int] = None
+                   ) -> Tuple[EventLog, RunResult]:
+    """Strict-replay a witness on a plain executor; return its log."""
+    from .replay import ReplayScheduler
+
+    if tool_seed is None:
+        tool_seed = int(witness.meta.get("tool_seed", 0))
+    harness = _full_harness(tool_seed)
+    executor = Executor(program, scheduler=ReplayScheduler(witness),
+                        harness=harness)
+    run = executor.run()
+    return harness.log, run
+
+
+def confirm_pair(program: Program, pair: Sequence[int],
+                 config: Optional[DirectorConfig] = None) -> ConfirmOutcome:
+    """Spend up to ``config.budget`` directed attempts on one pair.
+
+    A confirming attempt's witness is verified by strict replay before the
+    outcome is reported: the pair must race again on a plain executor
+    driven by the recorded schedule, or the attempt does not count.
+    """
+    config = config or DirectorConfig()
+    key = normalize_pair(pair)
+    base = RandomInterleaver(seed=config.base_seed,
+                             switch_prob=config.switch_prob)
+    outcome = ConfirmOutcome(pair=key, confirmed=False, attempts=0)
+    for attempt in range(config.budget):
+        mode = config.mode_for(attempt)
+        result = run_attempt(program, key, base.fork_seed(attempt),
+                             mode=mode, config=config, attempt=attempt)
+        outcome.attempts += 1
+        outcome.parks += result.parks
+        outcome.matched = outcome.matched or result.matched
+        outcome.forced_releases += result.forced_releases
+        if not result.raced:
+            continue
+        replay_log, _ = replay_witness(program, result.trace,
+                                       tool_seed=config.tool_seed)
+        replay_events = merge_thread_logs(replay_log).events
+        if not pair_raced(replay_events, key, window=config.check_window):
+            # Should be impossible (the witness is the gated run minus
+            # no-op steps); treat as unconfirmed rather than lie.
+            outcome.notes.append(
+                f"attempt {attempt}: raced but witness replay did not")
+            continue
+        outcome.confirmed = True
+        outcome.mode = mode
+        outcome.witness = result.trace
+        return outcome
+    if outcome.parks and not outcome.matched:
+        outcome.notes.append(
+            f"parked {outcome.parks}x without a partner arriving at the "
+            f"other access")
+    return outcome

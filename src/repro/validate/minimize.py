@@ -1,0 +1,130 @@
+"""Witness minimization: shrink a confirming schedule to its essence.
+
+A confirmed witness from the director is a full recorded run — thousands
+of steps, dozens of context switches, one of which matters.  This module
+applies delta debugging (Zeller's ddmin) over the trace's *segment* list
+(maximal same-thread runs): remove chunks of segments, guided-replay the
+shortened schedule (segments whose threads cannot run are skipped, and a
+deterministic fallback finishes the program), re-record the actual
+execution, and keep the candidate iff the pair still races and the
+re-recorded schedule is no longer than the current best.
+
+Because every accepted candidate is the *re-recording* of a real
+execution, the minimized witness is always a strict-replayable trace that
+still triggers the race — minimization can never hand back a schedule
+that only "would have" raced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.harness import ProfilingHarness
+from ..core.samplers import make_sampler
+from ..core.tracker import TimestampTracker
+from ..detector.merge import merge_thread_logs
+from ..runtime.executor import DeadlockError, ExecutionLimitError, Executor
+from ..tir.program import Program
+from .director import normalize_pair, pair_raced
+from .replay import GuidedReplayScheduler
+from .trace import RecordingScheduler, ScheduleTrace
+
+__all__ = ["minimize_witness", "MinimizeResult"]
+
+Segment = Tuple[int, int]
+
+
+class MinimizeResult:
+    """Outcome of a minimization run."""
+
+    def __init__(self, witness: ScheduleTrace, original: ScheduleTrace,
+                 executions: int):
+        self.witness = witness
+        self.original = original
+        self.executions = executions
+
+    @property
+    def reduced(self) -> bool:
+        return (self.witness.num_switches < self.original.num_switches
+                or len(self.witness) < len(self.original))
+
+
+def _measure(trace: ScheduleTrace) -> Tuple[int, int]:
+    # Switches first: a short schedule with many preemptions is harder to
+    # read than a longer one with a single preemption.
+    return (trace.num_switches, len(trace))
+
+
+def _try_schedule(program: Program, segments: Sequence[Segment],
+                  pair: Tuple[int, int], *, tool_seed: int,
+                  max_steps: Optional[int],
+                  window: int) -> Optional[ScheduleTrace]:
+    """Guided-replay ``segments``; return the re-recorded trace if the
+    pair still races, else None."""
+    recorder = RecordingScheduler(GuidedReplayScheduler(segments))
+    harness = ProfilingHarness(
+        make_sampler("Full"),
+        tracker=TimestampTracker(seed=tool_seed),
+        seed=tool_seed,
+    )
+    executor = Executor(program, scheduler=recorder, harness=harness,
+                        max_steps=max_steps)
+    try:
+        executor.run()
+    except (DeadlockError, ExecutionLimitError):
+        return None
+    events = merge_thread_logs(harness.log).events
+    if not pair_raced(events, pair, window=window):
+        return None
+    return recorder.trace(drop_no_effect=False)
+
+
+def minimize_witness(program: Program, witness: ScheduleTrace,
+                     pair: Sequence[int], *, tool_seed: Optional[int] = None,
+                     max_executions: int = 200,
+                     window: int = 512) -> MinimizeResult:
+    """ddmin over the witness's segments; returns a witness that is never
+    longer than the original and still reproduces the race on replay."""
+    key = normalize_pair(pair)
+    if tool_seed is None:
+        tool_seed = int(witness.meta.get("tool_seed", 0))
+    meta = dict(witness.meta)
+    meta["minimized"] = True
+    # Replays may legitimately run longer than the witness (the guided
+    # fallback finishes threads the original schedule preempted forever),
+    # but anything past this bound is a runaway, not a reproducer.
+    max_steps = max(4 * len(witness), 10_000)
+
+    best = witness
+    best_segments: List[Segment] = witness.segments
+    executions = 0
+
+    granularity = 2
+    while granularity <= len(best_segments) and executions < max_executions:
+        chunk = max(1, len(best_segments) // granularity)
+        improved = False
+        start = 0
+        while start < len(best_segments) and executions < max_executions:
+            candidate = (best_segments[:start]
+                         + best_segments[start + chunk:])
+            if not candidate:
+                start += chunk
+                continue
+            executions += 1
+            trace = _try_schedule(program, candidate, key,
+                                  tool_seed=tool_seed, max_steps=max_steps,
+                                  window=window)
+            if trace is not None and _measure(trace) < _measure(best):
+                best = ScheduleTrace(trace.decisions, meta)
+                best_segments = best.segments
+                # Restart this granularity against the smaller schedule.
+                improved = True
+                start = 0
+                continue
+            start += chunk
+        if not improved:
+            if chunk == 1:
+                break
+            granularity = min(granularity * 2, len(best_segments))
+    return MinimizeResult(witness=best, original=witness,
+                          executions=executions)

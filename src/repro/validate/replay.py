@@ -1,0 +1,115 @@
+"""Schedule replay: re-execute a recorded interleaving exactly (or loosely).
+
+Two modes, two jobs:
+
+* **Strict** (:class:`ReplayScheduler`): consume the recorded decisions one
+  per step and demand that each recorded tid is actually runnable.  Because
+  every policy in :mod:`repro.runtime.scheduler` is a deterministic function
+  of its seed and the executor is a deterministic function of its decision
+  stream, strict replay of a recorded run reproduces the execution event
+  for event — byte-identical encoded logs, identical race report.  Any
+  divergence (the program or tool configuration changed under the trace)
+  raises :class:`ReplayDivergence` instead of silently exploring a
+  different interleaving.
+
+* **Guided** (:class:`GuidedReplayScheduler`): follow the trace's segments
+  as long as their threads are runnable, skip segments that no longer
+  apply, and fall back to a deterministic policy once the trace is
+  exhausted.  This is the forgiving mode the witness minimizer needs: a
+  candidate schedule with preemption points deleted is not exactly
+  executable, but it is executable *enough* to ask whether the race still
+  fires.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..runtime.scheduler import Scheduler
+from .trace import ScheduleTrace
+
+__all__ = ["ReplayScheduler", "GuidedReplayScheduler", "ReplayDivergence"]
+
+
+class ReplayDivergence(RuntimeError):
+    """Strict replay could not follow the recorded schedule."""
+
+
+class ReplayScheduler(Scheduler):
+    """Exact replay of a :class:`ScheduleTrace` (strict mode)."""
+
+    def __init__(self, trace: ScheduleTrace):
+        self.trace = trace
+        self._position = 0
+
+    @property
+    def position(self) -> int:
+        """How many recorded decisions have been consumed."""
+        return self._position
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self.trace.decisions)
+
+    def next_thread(self, current: Optional[int],
+                    runnable: Sequence[int]) -> int:
+        if self.exhausted:
+            raise ReplayDivergence(
+                f"trace exhausted after {self._position} steps but the "
+                f"program is still running (runnable: {list(runnable)})")
+        tid = self.trace.decisions[self._position]
+        if tid not in runnable:
+            raise ReplayDivergence(
+                f"step {self._position}: recorded tid {tid} is not "
+                f"runnable (runnable: {list(runnable)})")
+        self._position += 1
+        return tid
+
+    def fork_seed(self, index: int) -> "ReplayScheduler":
+        raise TypeError("a replay schedule cannot be re-seeded")
+
+    def fresh(self) -> "ReplayScheduler":
+        return ReplayScheduler(self.trace)
+
+
+class GuidedReplayScheduler(Scheduler):
+    """Best-effort replay of a segment list (guided mode).
+
+    Follows each ``(tid, steps)`` segment while its thread is runnable;
+    a segment whose thread is blocked or finished is abandoned (its
+    remaining steps dropped).  After the last segment the fallback policy
+    is deterministic: keep the current thread while it is runnable,
+    otherwise the lowest-tid runnable thread — so a guided replay always
+    terminates with a recordable, strict-replayable schedule.
+    """
+
+    def __init__(self, segments: Sequence[Tuple[int, int]]):
+        self.segments: List[Tuple[int, int]] = [
+            (tid, steps) for tid, steps in segments if steps > 0
+        ]
+        self._index = 0
+        self._used_in_segment = 0
+
+    def next_thread(self, current: Optional[int],
+                    runnable: Sequence[int]) -> int:
+        while self._index < len(self.segments):
+            tid, steps = self.segments[self._index]
+            if self._used_in_segment >= steps:
+                self._index += 1
+                self._used_in_segment = 0
+                continue
+            if tid in runnable:
+                self._used_in_segment += 1
+                return tid
+            # The segment's thread cannot run here — abandon the rest of it.
+            self._index += 1
+            self._used_in_segment = 0
+        if current is not None and current in runnable:
+            return current
+        return min(runnable)
+
+    def fork_seed(self, index: int) -> "GuidedReplayScheduler":
+        raise TypeError("a replay schedule cannot be re-seeded")
+
+    def fresh(self) -> "GuidedReplayScheduler":
+        return GuidedReplayScheduler(self.segments)

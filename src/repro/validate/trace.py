@@ -1,0 +1,204 @@
+"""Schedule traces: the record half of record/replay.
+
+An execution in this system is fully determined by its program and the
+sequence of scheduler decisions — one tid per executor step.  A
+:class:`ScheduleTrace` captures that decision sequence in a compact,
+versioned binary format (run-length encoded: schedules are long runs of the
+same thread punctuated by switches), together with a JSON metadata blob
+naming how to rebuild the execution (workload, seed, scale, tool
+configuration, and — for directed witnesses — the candidate PC pair).
+
+A :class:`RecordingScheduler` wraps any policy and transcribes its
+decisions as they are made.  Steps the directed gate turned into parks
+(no effect, no events) can be marked and dropped, so the trace of a gated
+run replays exactly on a plain executor — see
+:class:`repro.runtime.executor.AccessGate`.
+
+Wire format (little-endian), version 1::
+
+    magic b"LTRT" + version u16 + reserved u16
+    meta-length u32 + UTF-8 JSON metadata
+    total-steps u64 + segment-count u32
+    segments: (tid u32, run-length u32) each
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..runtime.scheduler import Scheduler
+
+__all__ = ["ScheduleTrace", "RecordingScheduler", "TraceError"]
+
+_MAGIC = b"LTRT"
+_VERSION = 1
+
+_HEADER = struct.Struct("<4sHH")
+_META_LEN = struct.Struct("<I")
+_COUNTS = struct.Struct("<QI")
+_SEGMENT = struct.Struct("<II")
+
+
+class TraceError(ValueError):
+    """Malformed schedule-trace bytes."""
+
+
+def _run_length(decisions: Sequence[int]) -> List[Tuple[int, int]]:
+    segments: List[Tuple[int, int]] = []
+    for tid in decisions:
+        if segments and segments[-1][0] == tid:
+            segments[-1] = (tid, segments[-1][1] + 1)
+        else:
+            segments.append((tid, 1))
+    return segments
+
+
+class ScheduleTrace:
+    """An immutable recorded decision sequence plus its metadata."""
+
+    def __init__(self, decisions: Sequence[int],
+                 meta: Optional[Dict] = None):
+        self._decisions: Tuple[int, ...] = tuple(decisions)
+        self.meta: Dict = dict(meta or {})
+
+    # -- views -------------------------------------------------------------
+    @property
+    def decisions(self) -> Tuple[int, ...]:
+        return self._decisions
+
+    @property
+    def segments(self) -> List[Tuple[int, int]]:
+        """Run-length view: maximal ``(tid, steps)`` runs in order."""
+        return _run_length(self._decisions)
+
+    @property
+    def num_switches(self) -> int:
+        """Context switches — the minimization objective."""
+        return max(0, len(self.segments) - 1)
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._decisions)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, ScheduleTrace)
+                and self._decisions == other._decisions
+                and self.meta == other.meta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ScheduleTrace({len(self)} steps, "
+                f"{self.num_switches} switches)")
+
+    # -- serialization -----------------------------------------------------
+    def to_bytes(self) -> bytes:
+        meta_blob = json.dumps(self.meta, sort_keys=True).encode("utf-8")
+        segments = self.segments
+        parts = [
+            _HEADER.pack(_MAGIC, _VERSION, 0),
+            _META_LEN.pack(len(meta_blob)),
+            meta_blob,
+            _COUNTS.pack(len(self._decisions), len(segments)),
+        ]
+        parts.extend(_SEGMENT.pack(tid, run) for tid, run in segments)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ScheduleTrace":
+        try:
+            magic, version, _ = _HEADER.unpack_from(data, 0)
+        except struct.error as exc:
+            raise TraceError(f"truncated trace header: {exc}") from None
+        if magic != _MAGIC:
+            raise TraceError("not a schedule trace (bad magic)")
+        if version != _VERSION:
+            raise TraceError(f"unsupported trace version {version}")
+        offset = _HEADER.size
+        try:
+            (meta_len,) = _META_LEN.unpack_from(data, offset)
+            offset += _META_LEN.size
+            meta = json.loads(data[offset:offset + meta_len].decode("utf-8"))
+            offset += meta_len
+            total, count = _COUNTS.unpack_from(data, offset)
+            offset += _COUNTS.size
+            decisions: List[int] = []
+            for _ in range(count):
+                tid, run = _SEGMENT.unpack_from(data, offset)
+                offset += _SEGMENT.size
+                decisions.extend([tid] * run)
+        except (struct.error, ValueError) as exc:
+            raise TraceError(f"malformed trace body: {exc}") from None
+        if offset != len(data):
+            raise TraceError("trailing bytes after last segment")
+        if len(decisions) != total:
+            raise TraceError(
+                f"step count mismatch: header says {total}, "
+                f"segments sum to {len(decisions)}")
+        return cls(decisions, meta)
+
+    def save(self, path) -> int:
+        """Atomically write the trace; return bytes written."""
+        data = self.to_bytes()
+        tmp_path = f"{os.fspath(path)}.tmp"
+        try:
+            with open(tmp_path, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return len(data)
+
+    @classmethod
+    def load(cls, path) -> "ScheduleTrace":
+        with open(path, "rb") as handle:
+            return cls.from_bytes(handle.read())
+
+
+class RecordingScheduler(Scheduler):
+    """Delegate to ``inner`` and transcribe every decision.
+
+    ``mark_no_effect`` tags the most recent decision as a step that
+    performed no work (a gate park); ``trace(drop_no_effect=True)`` omits
+    those steps so the result strict-replays on an ungated executor.
+    """
+
+    def __init__(self, inner: Scheduler):
+        self.inner = inner
+        self.decisions: List[int] = []
+        self._no_effect: List[int] = []
+
+    def next_thread(self, current: Optional[int],
+                    runnable: Sequence[int]) -> int:
+        tid = self.inner.next_thread(current, runnable)
+        self.decisions.append(tid)
+        return tid
+
+    def fork_seed(self, index: int) -> "RecordingScheduler":
+        return RecordingScheduler(self.inner.fork_seed(index))
+
+    def fresh(self) -> "RecordingScheduler":
+        return RecordingScheduler(self.inner.fresh())
+
+    def mark_no_effect(self) -> None:
+        """Tag the decision currently being executed as a no-op step."""
+        if not self.decisions:
+            raise RuntimeError("no decision recorded yet")
+        self._no_effect.append(len(self.decisions) - 1)
+
+    def trace(self, meta: Optional[Dict] = None,
+              drop_no_effect: bool = False) -> ScheduleTrace:
+        if drop_no_effect and self._no_effect:
+            dropped = set(self._no_effect)
+            decisions = [tid for index, tid in enumerate(self.decisions)
+                         if index not in dropped]
+        else:
+            decisions = list(self.decisions)
+        return ScheduleTrace(decisions, meta)

@@ -1,0 +1,282 @@
+"""Validation verdicts: what the director concluded about each pair.
+
+Three verdicts, three different claims:
+
+* ``CONFIRMED`` — the pair raced in a directed execution and the attached
+  witness trace deterministically re-triggers the race on strict replay.
+  This is a proof, not a probability.
+* ``INFEASIBLE`` — the ordering is provably blocked by synchronization
+  (the sound static pass rules the pair out, or a PC is not a memory
+  access).  Also a proof, in the other direction.
+* ``UNCONFIRMED`` — the attempt budget ran out with neither proof.  Says
+  nothing about the race's reality; re-run with a larger budget.
+
+A :class:`ValidationReport` aggregates the per-pair verdicts with enough
+run metadata to reproduce the validation, serializes to JSON (witnesses
+ride along as separate ``.ltrt`` files), exports INFEASIBLE pairs as a
+:class:`~repro.core.suppressions.SuppressionList`, and feeds verdict
+annotations into triage rendering and the telemetry service.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.suppressions import Suppression, SuppressionList
+from ..tir.program import Program
+from .trace import ScheduleTrace
+
+__all__ = [
+    "RaceVerdict",
+    "PairVerdict",
+    "ValidationReport",
+    "VERDICT_PRECEDENCE",
+    "strongest_verdict",
+]
+
+Pair = Tuple[int, int]
+
+_REPORT_VERSION = 1
+
+
+class RaceVerdict(enum.Enum):
+    """The director's conclusion for one candidate pair."""
+
+    CONFIRMED = "confirmed"
+    UNCONFIRMED = "unconfirmed"
+    INFEASIBLE = "infeasible"
+
+
+#: Merge precedence for fleet aggregation: a proof (either direction)
+#: always beats budget exhaustion, and a positive witness beats a static
+#: argument (if both somehow arrive, the witness wins — it is an actual
+#: execution).
+VERDICT_PRECEDENCE = {
+    RaceVerdict.CONFIRMED: 2,
+    RaceVerdict.INFEASIBLE: 1,
+    RaceVerdict.UNCONFIRMED: 0,
+}
+
+
+def strongest_verdict(first: str, second: str) -> str:
+    """Pick the higher-precedence of two verdict value strings."""
+    a, b = RaceVerdict(first), RaceVerdict(second)
+    return (a if VERDICT_PRECEDENCE[a] >= VERDICT_PRECEDENCE[b] else b).value
+
+
+@dataclass
+class PairVerdict:
+    """One pair's verdict plus the evidence behind it."""
+
+    pair: Pair
+    verdict: RaceVerdict
+    attempts: int = 0
+    mode: Optional[str] = None
+    witness: Optional[ScheduleTrace] = None
+    witness_path: Optional[str] = None
+    note: str = ""
+
+    @property
+    def witness_steps(self) -> int:
+        return len(self.witness) if self.witness is not None else 0
+
+    @property
+    def witness_switches(self) -> int:
+        return self.witness.num_switches if self.witness is not None else 0
+
+    def symbols(self, program: Program) -> Tuple[str, str]:
+        return (program.symbolize(self.pair[0]),
+                program.symbolize(self.pair[1]))
+
+    def to_wire(self, program: Optional[Program] = None) -> Dict:
+        wire: Dict = {
+            "pcs": [self.pair[0], self.pair[1]],
+            "verdict": self.verdict.value,
+            "attempts": self.attempts,
+        }
+        if self.mode:
+            wire["mode"] = self.mode
+        if self.witness is not None or self.witness_path:
+            wire["witness"] = self.witness_path
+            wire["witness_steps"] = self.witness_steps
+            wire["witness_switches"] = self.witness_switches
+        if self.note:
+            wire["note"] = self.note
+        if program is not None:
+            wire["symbols"] = list(self.symbols(program))
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict) -> "PairVerdict":
+        pcs = wire["pcs"]
+        pair = (min(pcs), max(pcs))
+        verdict = cls(
+            pair=pair,
+            verdict=RaceVerdict(wire["verdict"]),
+            attempts=int(wire.get("attempts", 0)),
+            mode=wire.get("mode"),
+            witness_path=wire.get("witness"),
+            note=wire.get("note", ""),
+        )
+        return verdict
+
+
+@dataclass
+class ValidationReport:
+    """All verdicts from one ``repro validate`` invocation."""
+
+    program_name: str
+    workload: str = ""
+    seed: int = 0
+    scale: float = 1.0
+    budget: int = 0
+    source: str = ""
+    verdicts: List[PairVerdict] = field(default_factory=list)
+
+    # -- queries -----------------------------------------------------------
+    def by_verdict(self, verdict: RaceVerdict) -> List[PairVerdict]:
+        return [v for v in self.verdicts if v.verdict is verdict]
+
+    @property
+    def confirmed(self) -> List[PairVerdict]:
+        return self.by_verdict(RaceVerdict.CONFIRMED)
+
+    def verdict_of(self, pair: Pair) -> Optional[RaceVerdict]:
+        key = (min(pair), max(pair))
+        for entry in self.verdicts:
+            if entry.pair == key:
+                return entry.verdict
+        return None
+
+    def counts(self) -> Dict[str, int]:
+        out = {v.value: 0 for v in RaceVerdict}
+        for entry in self.verdicts:
+            out[entry.verdict.value] += 1
+        return out
+
+    def verdict_map(self) -> Dict[Pair, str]:
+        """``{(pc_low, pc_high): verdict_value}`` for triage/telemetry."""
+        return {entry.pair: entry.verdict.value for entry in self.verdicts}
+
+    # -- witnesses ---------------------------------------------------------
+    def save_witnesses(self, directory) -> int:
+        """Write every in-memory witness as ``<dir>/pair_L_H.ltrt``."""
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        saved = 0
+        for entry in self.verdicts:
+            if entry.witness is None:
+                continue
+            path = os.path.join(
+                directory, f"pair_{entry.pair[0]}_{entry.pair[1]}.ltrt")
+            entry.witness.save(path)
+            entry.witness_path = path
+            saved += 1
+        return saved
+
+    def load_witness(self, entry: PairVerdict) -> ScheduleTrace:
+        if entry.witness is not None:
+            return entry.witness
+        if not entry.witness_path:
+            raise ValueError(f"pair {entry.pair} has no witness")
+        entry.witness = ScheduleTrace.load(entry.witness_path)
+        return entry.witness
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self, program: Optional[Program] = None) -> Dict:
+        return {
+            "version": _REPORT_VERSION,
+            "program": self.program_name,
+            "workload": self.workload,
+            "seed": self.seed,
+            "scale": self.scale,
+            "budget": self.budget,
+            "source": self.source,
+            "counts": self.counts(),
+            "verdicts": [v.to_wire(program) for v in self.verdicts],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "ValidationReport":
+        version = payload.get("version")
+        if version != _REPORT_VERSION:
+            raise ValueError(f"unsupported validation report v{version}")
+        report = cls(
+            program_name=payload.get("program", ""),
+            workload=payload.get("workload", ""),
+            seed=int(payload.get("seed", 0)),
+            scale=float(payload.get("scale", 1.0)),
+            budget=int(payload.get("budget", 0)),
+            source=payload.get("source", ""),
+        )
+        report.verdicts = [
+            PairVerdict.from_wire(wire) for wire in payload.get("verdicts", [])
+        ]
+        return report
+
+    def save(self, path, program: Optional[Program] = None) -> None:
+        data = json.dumps(self.to_json(program), indent=2, sort_keys=True)
+        tmp_path = f"{os.fspath(path)}.tmp"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                handle.write(data + "\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path) -> "ValidationReport":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
+    # -- downstream exports ------------------------------------------------
+    def to_suppressions(self, program: Program) -> SuppressionList:
+        """INFEASIBLE pairs as suppression rules (provably cannot race)."""
+        rules = SuppressionList()
+        seen = set()
+        for entry in self.by_verdict(RaceVerdict.INFEASIBLE):
+            func1 = program.function_of_pc(entry.pair[0])
+            func2 = program.function_of_pc(entry.pair[1])
+            key = tuple(sorted((func1, func2)))
+            if key in seen:
+                continue
+            seen.add(key)
+            reason = entry.note or "infeasible (validated)"
+            rules.add(Suppression(func1, func2, reason))
+        return rules
+
+    # -- rendering ---------------------------------------------------------
+    def summary_lines(self, program: Optional[Program] = None) -> List[str]:
+        counts = self.counts()
+        lines = [
+            f"validation: {len(self.verdicts)} pair(s) — "
+            f"{counts['confirmed']} confirmed, "
+            f"{counts['unconfirmed']} unconfirmed, "
+            f"{counts['infeasible']} infeasible "
+            f"(budget {self.budget} attempt(s)/pair)"
+        ]
+        for entry in self.verdicts:
+            if program is not None:
+                first, second = entry.symbols(program)
+            else:
+                first, second = (f"pc:{entry.pair[0]}", f"pc:{entry.pair[1]}")
+            line = (f"  {entry.verdict.value.upper():<11} "
+                    f"{first} <-> {second}")
+            if entry.verdict is RaceVerdict.CONFIRMED:
+                line += (f"  [attempt {entry.attempts}, {entry.mode}; "
+                         f"witness {entry.witness_steps} steps / "
+                         f"{entry.witness_switches} switches]")
+            elif entry.verdict is RaceVerdict.UNCONFIRMED:
+                line += f"  [{entry.attempts} attempt(s) exhausted]"
+            if entry.note:
+                line += f"  ({entry.note})"
+            lines.append(line)
+        return lines

@@ -472,3 +472,79 @@ class TestStateAndSink:
                 body = client.report()
         assert body["num_static"] == 0
         assert body["suppressed"] == offline_reference(log_a).num_static
+
+
+class TestVerdicts:
+    """Validation verdicts ride the telemetry channel: submitted rows
+    annotate the fleet report, survive snapshot/restart, and merge by
+    strength (CONFIRMED beats INFEASIBLE beats UNCONFIRMED)."""
+
+    def _race_keys(self, body):
+        return [tuple(sorted(row["pcs"]))
+                for row in body["report"]["races"]]
+
+    def test_verdict_round_trip_annotates_report(self, fleet_logs):
+        log_a, _ = fleet_logs
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1) as server:
+            with TelemetryClient(address) as client:
+                client.submit_log(log_a, segment_events=16)
+                keys = self._race_keys(client.report())
+                assert keys
+                rows = [{"pcs": list(keys[0]), "verdict": "confirmed"}]
+                assert client.submit_verdicts(rows) == 1
+                body = client.report()
+                status = client.status()
+        annotated = {tuple(sorted(row["pcs"])): row.get("verdict")
+                     for row in body["report"]["races"]}
+        assert annotated[keys[0]] == "confirmed"
+        assert all(verdict is None for key, verdict in annotated.items()
+                   if key != keys[0])
+        assert status["verdicts_known"] == 1
+        assert status["verdicts_received"] == 1
+
+    def test_merge_keeps_strongest_verdict(self, fleet_logs):
+        log_a, _ = fleet_logs
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1) as server:
+            with TelemetryClient(address) as client:
+                client.submit_log(log_a, segment_events=16)
+                key = self._race_keys(client.report())[0]
+                client.submit_verdicts(
+                    [{"pcs": list(key), "verdict": "confirmed"}])
+                # A later, weaker report must not downgrade the verdict.
+                client.submit_verdicts(
+                    [{"pcs": list(key), "verdict": "unconfirmed"}])
+                body = client.report()
+        row = {tuple(sorted(r["pcs"])): r.get("verdict")
+               for r in body["report"]["races"]}
+        assert row[key] == "confirmed"
+
+    def test_verdicts_survive_snapshot_restart(self, fleet_logs, tmp_path):
+        log_a, _ = fleet_logs
+        state_dir = str(tmp_path / "state")
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1,
+                             state_dir=state_dir) as server:
+            with TelemetryClient(address) as client:
+                client.submit_log(log_a, segment_events=16)
+                key = self._race_keys(client.report())[0]
+                client.submit_verdicts(
+                    [{"pcs": list(key), "verdict": "infeasible"}])
+        with TelemetryServer([address], workers=1,
+                             state_dir=state_dir) as server:
+            with TelemetryClient(address) as client:
+                body = client.report()
+                status = client.status()
+        row = {tuple(sorted(r["pcs"])): r.get("verdict")
+               for r in body["report"]["races"]}
+        assert row[key] == "infeasible"
+        assert status["verdicts_known"] == 1
+
+    def test_malformed_verdict_rows_rejected(self):
+        address = f"unix:{short_socket_path()}"
+        with TelemetryServer([address], workers=1) as server:
+            with TelemetryClient(address) as client:
+                with pytest.raises(ProtocolError):
+                    client.submit_verdicts(
+                        [{"pcs": [1, 2], "verdict": "maybe"}])

@@ -1,0 +1,103 @@
+"""Smoke target: the validation CLI is exercised end to end on every PR.
+
+Profiles a planted-race workload with ``run --log-out``, feeds the log to
+``repro validate`` (confirm + minimize + report + witnesses + suppression
+export), then loads the artifacts back in-process and strict-replays a
+confirmed witness to check it still races.  Also drives the inline
+``run --validate`` path and checks the triage annotation.  Wired into CI
+as ``make validate-smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+WORKLOAD = "synthetic"
+SCALE = "0.05"
+SEED = "1"
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+def _repro(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT, env=_env(), capture_output=True, text=True,
+        timeout=300,
+    )
+
+
+def test_validate_cli_smoke(tmp_path):
+    log_path = tmp_path / "run.ltrc"
+    out_path = tmp_path / "validation.json"
+    witness_dir = tmp_path / "witnesses"
+    supp_path = tmp_path / "suppressions.txt"
+
+    run = _repro("run", WORKLOAD, "--sampler", "Full",
+                 "--seed", SEED, "--scale", SCALE,
+                 "--log-out", str(log_path))
+    assert run.returncode == 0, run.stderr[-4000:]
+    assert log_path.exists()
+
+    validate = _repro("validate", str(log_path),
+                      "--workload", WORKLOAD,
+                      "--seed", SEED, "--scale", SCALE,
+                      "--minimize",
+                      "--out", str(out_path),
+                      "--witness-dir", str(witness_dir),
+                      "--suppressions-out", str(supp_path))
+    assert validate.returncode == 0, validate.stderr[-4000:]
+    assert "candidate pair(s)" in validate.stdout
+    assert "confirmed" in validate.stdout
+
+    # The report round-trips and records confirmed pairs with witnesses.
+    report_json = json.loads(out_path.read_text(encoding="utf-8"))
+    assert report_json["workload"] == WORKLOAD
+    confirmed = [entry for entry in report_json["verdicts"]
+                 if entry["verdict"] == "confirmed"]
+    assert confirmed, validate.stdout
+    witnesses = sorted(witness_dir.glob("*.ltrt"))
+    assert len(witnesses) == len(confirmed)
+    assert supp_path.exists()
+
+    # A confirmed witness must deterministically re-trigger its race on a
+    # plain executor — the CLI's artifacts are proofs, not logs.
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.detector.merge import merge_thread_logs
+        from repro.validate import (
+            ScheduleTrace, ValidationReport, pair_raced, replay_witness,
+        )
+        from repro.workloads import build
+
+        program = build(WORKLOAD, seed=int(SEED), scale=float(SCALE))
+        report = ValidationReport.load(out_path)
+        entry = report.confirmed[0]
+        witness = report.load_witness(entry)
+        assert isinstance(witness, ScheduleTrace)
+        replay_log, _ = replay_witness(program, witness)
+        assert pair_raced(merge_thread_logs(replay_log).events, entry.pair)
+    finally:
+        sys.path.remove(str(REPO_ROOT / "src"))
+
+
+def test_run_validate_inline_smoke(tmp_path):
+    witness_dir = tmp_path / "witnesses"
+    run = _repro("run", WORKLOAD, "--sampler", "Full",
+                 "--seed", SEED, "--scale", SCALE,
+                 "--validate", "--budget", "3",
+                 "--witness-dir", str(witness_dir))
+    assert run.returncode == 0, run.stderr[-4000:]
+    assert "validated: CONFIRMED" in run.stdout
+    assert sorted(witness_dir.glob("*.ltrt"))
