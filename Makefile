@@ -7,12 +7,16 @@
 # telemetry daemon CLI (serve/submit/status) end to end and is wired into
 # tier-1 via tests/test_service_smoke.py; validate-smoke drives the race
 # validation CLI (run --log-out / validate / run --validate) end to end
-# and is wired into tier-1 via tests/test_validate_smoke.py.
+# and is wired into tier-1 via tests/test_validate_smoke.py; bench-smoke
+# runs the detector throughput harness at tiny scale and validates the
+# BENCH_detector.json schema, wired into tier-1 via
+# tests/test_bench_smoke.py (regenerate the committed numbers with
+# `python -m repro bench --out BENCH_detector.json`).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke serve-smoke validate-smoke staticpass bench artifacts clean-cache
+.PHONY: test smoke serve-smoke validate-smoke bench-smoke staticpass bench artifacts clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +29,9 @@ serve-smoke:
 
 validate-smoke:
 	$(PYTHON) -m pytest tests/test_validate_smoke.py -q
+
+bench-smoke:
+	$(PYTHON) -m pytest tests/test_bench_smoke.py -q
 
 staticpass:
 	$(PYTHON) -m repro staticpass --all --check --scale 0.2

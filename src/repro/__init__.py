@@ -37,6 +37,7 @@ from .core import (
 )
 from .detector import (
     FastTrackDetector,
+    FlatDetector,
     HappensBeforeDetector,
     LocksetDetector,
     OnlineRaceDetector,
@@ -66,6 +67,7 @@ __all__ = [
     "run_marked",
     "HappensBeforeDetector",
     "FastTrackDetector",
+    "FlatDetector",
     "LocksetDetector",
     "OnlineRaceDetector",
     "RaceReport",

@@ -205,13 +205,13 @@ def _cmd_validate(args) -> int:
 
 def _cmd_analyze(args) -> int:
     """Offline analysis of a saved log (§4.4: profile now, triage later)."""
-    from .detector.hb import HappensBeforeDetector
+    from .detector.flat import FlatDetector
     from .detector.merge import merge_thread_logs
     from .eventlog.store import load_log
 
     log = load_log(args.log)
     merged = merge_thread_logs(log)
-    detector = HappensBeforeDetector(alloc_as_sync=not args.no_alloc_sync)
+    detector = FlatDetector("hb", alloc_as_sync=not args.no_alloc_sync)
     detector.feed_all(merged.events)
     report = detector.report
 
@@ -231,6 +231,25 @@ def _cmd_analyze(args) -> int:
         print(f"  pcs ({pc1}, {pc2})  seen {count}x  "
               f"e.g. addr {example.addr:#x} between threads "
               f"{example.first_tid} and {example.second_tid}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Measure detector/server throughput and write BENCH_detector.json."""
+    from . import bench
+
+    events = args.events or bench.DEFAULT_EVENTS
+    repeats = args.repeats or bench.DEFAULT_REPEATS
+    segment_events = args.segment_events or bench.DEFAULT_SEGMENT_EVENTS
+    if args.quick:
+        events = min(events, 4000)
+        repeats = min(repeats, 2)
+    doc = bench.run_bench(events_per_stream=events, repeats=repeats,
+                          segment_events=segment_events,
+                          progress=print)
+    if args.out:
+        bench.write_bench(doc, args.out)
+        print(f"bench results written to {args.out}")
     return 0
 
 
@@ -540,6 +559,20 @@ def main(argv=None) -> int:
     an_p.add_argument("--no-alloc-sync", action="store_true",
                       help="disable the §4.3 allocation-as-sync rule")
 
+    bench_p = sub.add_parser(
+        "bench", help="measure detector events/sec and server segments/sec "
+                      "on fixed synthetic streams")
+    bench_p.add_argument("--events", type=int, default=None,
+                         help="events per stream (default 100000)")
+    bench_p.add_argument("--repeats", type=int, default=None,
+                         help="timing repeats, best-of (default 5)")
+    bench_p.add_argument("--segment-events", type=int, default=None,
+                         help="events per wire segment (default 512)")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="tiny smoke run (schema checks, not numbers)")
+    bench_p.add_argument("--out", default=None, metavar="FILE",
+                         help="write BENCH_detector.json-style results here")
+
     cmp_p = sub.add_parser("compare",
                            help="compare all samplers on one workload (§5.3)")
     cmp_p.add_argument("workload")
@@ -605,7 +638,7 @@ def main(argv=None) -> int:
                "analyze": _cmd_analyze, "compare": _cmd_compare,
                "staticpass": _cmd_staticpass, "serve": _cmd_serve,
                "submit": _cmd_submit, "status": _cmd_status,
-               "validate": _cmd_validate}
+               "validate": _cmd_validate, "bench": _cmd_bench}
     return handler[args.command](args)
 
 

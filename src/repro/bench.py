@@ -1,0 +1,364 @@
+"""Detector throughput benchmark: the ``BENCH_detector.json`` trajectory.
+
+The fleet's throughput ceiling is the detector (ROADMAP): every segment a
+telemetry worker ingests funnels through decode + happens-before analysis,
+so events/sec *is* the capacity number.  This module measures it on fixed
+synthetic streams and writes ``BENCH_detector.json`` at the repo root, so
+every later PR has a baseline to beat and regressions show up as a broken
+trajectory rather than a vague feeling.
+
+What is measured
+----------------
+Each bench stream is generated from a fixed seed, encoded once into wire
+segments (the production shape), and consumed end to end two ways:
+
+* **reference** — ``decode_segment`` into event objects, then the per-event
+  ``FastTrackDetector.feed`` loop (the pre-flat hot path);
+* **flat** — ``decode_segment_columns`` into parallel columns, then
+  ``FlatDetector('fasttrack').feed_batch`` (the batched hot path).
+
+Both sides do the full job (bytes in, ``RaceReport`` out), so the speedup
+is what a shard worker actually gains.  The harness asserts the two sides
+produce identical reports before trusting any timing.
+
+The server number runs the shard-worker loop itself — decode + the
+:class:`~repro.service.shard.ShardDetector` columnar feed for one shard of
+four — giving segments/sec for a single worker process.
+
+Streams (all 8 threads, fixed per-stream seeds):
+
+* ``private_mixed`` — 80% thread-private bursts (30% writes), 15%
+  lock-disciplined shared accesses, 5% unsynchronized shared: the
+  realistic profile, and the hardest mix for the flat fast paths.
+* ``read_burst`` — read-dominant private bursts with periodic locking:
+  the same-epoch read fast path.
+* ``write_burst`` — write-dominant private bursts: the same-epoch write
+  fast path.
+* ``sync_heavy`` — producer/consumer with dense lock traffic: stresses the
+  sync path (joins, release ticks) that sampling-heavy logs exhibit.
+
+Timing uses best-of-N wall clock per side, interleaved, which is the
+standard defense against noisy shared machines.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from typing import Callable, Dict, List
+
+from .detector.fasttrack import FastTrackDetector
+from .detector.flat import FlatDetector
+from .eventlog.events import Event, MemoryEvent, SyncEvent, SyncKind
+from .eventlog.segment import (decode_segment, decode_segment_columns,
+                               encode_segment)
+from .service.shard import ShardDetector
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_EVENTS",
+    "DEFAULT_REPEATS",
+    "DEFAULT_SEGMENT_EVENTS",
+    "STREAMS",
+    "build_stream",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+]
+
+SCHEMA_VERSION = 1
+
+#: Events per stream for the committed numbers; ``repro bench --quick``
+#: shrinks this for smoke runs.
+DEFAULT_EVENTS = 100_000
+DEFAULT_REPEATS = 5
+DEFAULT_SEGMENT_EVENTS = 512
+_BASE_SEED = 42
+_NUM_THREADS = 8
+_SERVER_SHARDS = 4
+
+
+# -- fixed-seed stream generators -------------------------------------------
+
+def _private_addr(rng: random.Random, tid: int) -> int:
+    return 0x1000 + tid * 64 + rng.randrange(32)
+
+
+def _stream_private_mixed(rng: random.Random, n: int) -> List[Event]:
+    events: List[Event] = []
+    ts = 0
+    while len(events) < n:
+        tid = rng.randrange(_NUM_THREADS)
+        r = rng.random()
+        if r < 0.80:
+            for _ in range(6):
+                events.append(MemoryEvent(tid, _private_addr(rng, tid),
+                                          rng.randrange(4000),
+                                          rng.random() < 0.3))
+        elif r < 0.95:
+            lock = rng.randrange(4)
+            ts += 1
+            events.append(SyncEvent(tid, SyncKind.LOCK, ("mutex", lock),
+                                    ts, 1))
+            for _ in range(4):
+                events.append(MemoryEvent(tid, 0x2000 + lock * 8
+                                          + rng.randrange(4),
+                                          rng.randrange(4000),
+                                          rng.random() < 0.5))
+            ts += 1
+            events.append(SyncEvent(tid, SyncKind.UNLOCK, ("mutex", lock),
+                                    ts, 2))
+        else:
+            events.append(MemoryEvent(tid, 0x3000 + rng.randrange(4),
+                                      5000 + rng.randrange(3),
+                                      rng.random() < 0.2))
+    return events[:n]
+
+
+def _burst_stream(rng: random.Random, n: int, write_prob: float) -> List[Event]:
+    events: List[Event] = []
+    ts = 0
+    while len(events) < n:
+        tid = rng.randrange(_NUM_THREADS)
+        if rng.random() < 0.97:
+            for _ in range(8):
+                events.append(MemoryEvent(tid, _private_addr(rng, tid),
+                                          rng.randrange(4000),
+                                          rng.random() < write_prob))
+        else:
+            lock = rng.randrange(4)
+            ts += 1
+            kind = SyncKind.LOCK if rng.random() < 0.5 else SyncKind.UNLOCK
+            events.append(SyncEvent(tid, kind, ("mutex", lock), ts, 1))
+    return events[:n]
+
+
+def _stream_read_burst(rng: random.Random, n: int) -> List[Event]:
+    return _burst_stream(rng, n, write_prob=0.02)
+
+
+def _stream_write_burst(rng: random.Random, n: int) -> List[Event]:
+    return _burst_stream(rng, n, write_prob=0.98)
+
+
+def _stream_sync_heavy(rng: random.Random, n: int) -> List[Event]:
+    events: List[Event] = []
+    ts = 0
+    while len(events) < n:
+        tid = rng.randrange(_NUM_THREADS)
+        lock = rng.randrange(8)
+        ts += 1
+        events.append(SyncEvent(tid, SyncKind.LOCK, ("mutex", lock), ts, 1))
+        for _ in range(3):
+            events.append(MemoryEvent(tid, 0x4000 + lock * 16
+                                      + rng.randrange(8),
+                                      rng.randrange(4000),
+                                      rng.random() < 0.4))
+        ts += 1
+        events.append(SyncEvent(tid, SyncKind.UNLOCK, ("mutex", lock), ts, 2))
+    return events[:n]
+
+
+#: name -> (per-stream seed, generator).  Seeds are fixed so the committed
+#: numbers are reproducible event-for-event.
+STREAMS: Dict[str, tuple] = {
+    "private_mixed": (_BASE_SEED + 1, _stream_private_mixed),
+    "read_burst": (_BASE_SEED + 2, _stream_read_burst),
+    "write_burst": (_BASE_SEED + 3, _stream_write_burst),
+    "sync_heavy": (_BASE_SEED + 4, _stream_sync_heavy),
+}
+
+
+def build_stream(name: str, events: int = DEFAULT_EVENTS) -> List[Event]:
+    """Generate one named bench stream from its fixed seed."""
+    seed, generator = STREAMS[name]
+    return generator(random.Random(seed), events)
+
+
+def _encode_frames(events: List[Event],
+                   segment_events: int) -> List[bytes]:
+    return [encode_segment(events[i:i + segment_events])
+            for i in range(0, len(events), segment_events)]
+
+
+# -- timing helpers ---------------------------------------------------------
+
+def _best_of(sides: List[Callable[[], object]], repeats: int) -> List[float]:
+    """Best wall-clock per side, interleaving A/B runs to spread noise."""
+    best = [math.inf] * len(sides)
+    for _ in range(repeats):
+        for i, side in enumerate(sides):
+            start = time.perf_counter()
+            side()
+            best[i] = min(best[i], time.perf_counter() - start)
+    return best
+
+
+def _report_key(report):
+    return (dict(report.occurrences), dict(report.examples),
+            set(report.addresses))
+
+
+# -- the bench itself -------------------------------------------------------
+
+def _bench_stream(name: str, events: List[Event], frames: List[bytes],
+                  repeats: int) -> Dict[str, object]:
+    def reference() -> FastTrackDetector:
+        detector = FastTrackDetector()
+        feed = detector.feed
+        for frame in frames:
+            decoded, _ = decode_segment(frame)
+            for event in decoded:
+                feed(event)
+        return detector
+
+    def flat() -> FlatDetector:
+        detector = FlatDetector("fasttrack")
+        feed_batch = detector.feed_batch
+        for frame in frames:
+            cols, _ = decode_segment_columns(frame)
+            feed_batch(cols)
+        return detector
+
+    # Equivalence gate: never publish a speedup for a detector that
+    # disagrees with the reference.
+    ref_detector = reference()
+    flat_detector = flat()
+    if _report_key(ref_detector.report) != _report_key(flat_detector.report):
+        raise AssertionError(f"flat/reference reports diverge on {name!r}")
+
+    ref_best, flat_best = _best_of([reference, flat], repeats)
+    n = len(events)
+    ref_rate = n / ref_best
+    flat_rate = n / flat_best
+    memory = sum(1 for e in events if isinstance(e, MemoryEvent))
+    return {
+        "events": n,
+        "memory_events": memory,
+        "sync_events": n - memory,
+        "segments": len(frames),
+        "static_races": ref_detector.report.num_static,
+        "reference_events_per_sec": round(ref_rate),
+        "flat_events_per_sec": round(flat_rate),
+        "speedup": round(flat_rate / ref_rate, 3),
+    }
+
+
+def _bench_server(frames: List[bytes], total_events: int,
+                  repeats: int) -> Dict[str, object]:
+    """The shard-worker loop: decode + columnar feed for one shard of N."""
+    def worker() -> ShardDetector:
+        shard = ShardDetector(0, _SERVER_SHARDS)
+        for frame in frames:
+            cols, _ = decode_segment_columns(frame)
+            shard.feed_columns(cols)
+        return shard
+
+    (best,) = _best_of([worker], repeats)
+    return {
+        "num_shards": _SERVER_SHARDS,
+        "segments": len(frames),
+        "segments_per_sec": round(len(frames) / best, 1),
+        "events_per_sec": round(total_events / best),
+    }
+
+
+def run_bench(events_per_stream: int = DEFAULT_EVENTS,
+              repeats: int = DEFAULT_REPEATS,
+              segment_events: int = DEFAULT_SEGMENT_EVENTS,
+              progress: Callable[[str], None] = None) -> Dict[str, object]:
+    """Run every bench stream and return the ``BENCH_detector.json`` doc."""
+    streams: Dict[str, Dict[str, object]] = {}
+    server_frames: List[bytes] = []
+    server_events = 0
+    for name in STREAMS:
+        events = build_stream(name, events_per_stream)
+        frames = _encode_frames(events, segment_events)
+        streams[name] = _bench_stream(name, events, frames, repeats)
+        if progress is not None:
+            row = streams[name]
+            progress(f"{name:16s} ref {row['reference_events_per_sec']:>10,} "
+                     f"ev/s  flat {row['flat_events_per_sec']:>10,} ev/s  "
+                     f"{row['speedup']:.2f}x")
+        server_frames.extend(frames)
+        server_events += len(events)
+
+    speedups = [row["speedup"] for row in streams.values()]
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    server = _bench_server(server_frames, server_events, repeats)
+    if progress is not None:
+        progress(f"{'geomean':16s} {geomean:.2f}x")
+        progress(f"{'server worker':16s} {server['segments_per_sec']:,} "
+                 f"segments/s ({server['events_per_sec']:,} ev/s, "
+                 f"1 shard of {server['num_shards']})")
+    return {
+        "schema": SCHEMA_VERSION,
+        "bench": "detector",
+        "generated": time.strftime("%Y-%m-%d"),
+        "config": {
+            "events_per_stream": events_per_stream,
+            "segment_events": segment_events,
+            "repeats": repeats,
+            "threads": _NUM_THREADS,
+        },
+        "streams": streams,
+        "geomean_speedup": round(geomean, 3),
+        "server": server,
+    }
+
+
+# -- schema -----------------------------------------------------------------
+
+_STREAM_FIELDS = ("events", "memory_events", "sync_events", "segments",
+                  "static_races", "reference_events_per_sec",
+                  "flat_events_per_sec", "speedup")
+_SERVER_FIELDS = ("num_shards", "segments", "segments_per_sec",
+                  "events_per_sec")
+
+
+def validate_bench(doc: object) -> List[str]:
+    """Schema problems in a ``BENCH_detector.json`` doc ([] when valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != SCHEMA_VERSION:
+        problems.append(f"schema must be {SCHEMA_VERSION}")
+    if doc.get("bench") != "detector":
+        problems.append("bench must be 'detector'")
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        problems.append("missing config object")
+    streams = doc.get("streams")
+    if not isinstance(streams, dict) or not streams:
+        problems.append("missing streams object")
+    else:
+        for name in STREAMS:
+            if name not in streams:
+                problems.append(f"missing stream {name!r}")
+        for name, row in streams.items():
+            for field in _STREAM_FIELDS:
+                value = row.get(field) if isinstance(row, dict) else None
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(f"stream {name!r}: bad field {field!r}")
+    if not isinstance(doc.get("geomean_speedup"), (int, float)):
+        problems.append("missing geomean_speedup")
+    server = doc.get("server")
+    if not isinstance(server, dict):
+        problems.append("missing server object")
+    else:
+        for field in _SERVER_FIELDS:
+            if not isinstance(server.get(field), (int, float)):
+                problems.append(f"server: bad field {field!r}")
+    return problems
+
+
+def write_bench(doc: Dict[str, object], path: str) -> None:
+    problems = validate_bench(doc)
+    if problems:
+        raise ValueError("refusing to write invalid bench doc: "
+                         + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")

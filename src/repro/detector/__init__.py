@@ -1,6 +1,8 @@
 """Offline and online data-race detection over event logs."""
 
 from .fasttrack import FastTrackDetector, fasttrack_races
+from .flat import FlatDetector
+from .flatclock import FlatClock, TidSlots
 from .hb import HappensBeforeDetector, detect_races
 from .lockset import LocksetDetector
 from .merge import MergeResult, merge_thread_logs
@@ -15,6 +17,9 @@ __all__ = [
     "detect_races",
     "FastTrackDetector",
     "fasttrack_races",
+    "FlatDetector",
+    "FlatClock",
+    "TidSlots",
     "LocksetDetector",
     "OnlineRaceDetector",
     "OracleDetector",

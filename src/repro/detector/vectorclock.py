@@ -37,8 +37,10 @@ class VectorClock:
             return NotImplemented
         return self._normalized() == other._normalized()
 
-    def __hash__(self):
-        return hash(frozenset(self._normalized().items()))
+    # Mutable (tick/join mutate in place), so hashing would silently corrupt
+    # any dict or set holding a clock that later advances.  Defining __eq__
+    # alone would already disable the inherited identity hash; spell it out.
+    __hash__ = None
 
     def _normalized(self) -> Dict[int, int]:
         return {tid: c for tid, c in self._clocks.items() if c != 0}

@@ -19,7 +19,10 @@ from .events import (
 from .log import EventLog
 from .segment import (
     SEGMENT_VERSION,
+    SegmentColumns,
+    columns_from_events,
     decode_segment,
+    decode_segment_columns,
     encode_segment,
     split_log,
 )
@@ -42,8 +45,11 @@ __all__ = [
     "decode_log",
     "encoded_size",
     "SEGMENT_VERSION",
+    "SegmentColumns",
+    "columns_from_events",
     "encode_segment",
     "decode_segment",
+    "decode_segment_columns",
     "split_log",
     "MEMORY_EVENT_BYTES",
     "SYNC_EVENT_BYTES",

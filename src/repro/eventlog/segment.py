@@ -44,7 +44,7 @@ from .encode import (
     _CODE_KINDS,
     _DOMAIN_CODES,
     _KIND_CODES,
-    _decode_pc,
+    _PC_NONE,
     _encode_pc,
 )
 from .log import EventLog
@@ -53,8 +53,11 @@ __all__ = [
     "SEGMENT_MAGIC",
     "SEGMENT_VERSION",
     "FLAG_ZLIB",
+    "SegmentColumns",
     "encode_segment",
     "decode_segment",
+    "decode_segment_columns",
+    "columns_from_events",
     "segment_event_count",
     "split_log",
 ]
@@ -118,11 +121,111 @@ def segment_event_count(data: bytes, offset: int = 0) -> int:
     return count
 
 
-def decode_segment(data: bytes, offset: int = 0) -> Tuple[List[Event], int]:
-    """Parse one segment frame at ``offset``.
+class SegmentColumns:
+    """One decoded segment as parallel columns — no per-event objects.
 
-    Returns the decoded events (stream order, tids preserved) and the offset
-    of the first byte after the frame.
+    The batched detector hot path (:class:`repro.detector.flat.FlatDetector`)
+    consumes these directly; ``to_events()`` materializes the traditional
+    object stream for the compatibility path and for tests.
+
+    Layout: ``ops``/``tids``/``addrs``/``pcs`` are parallel lists of length
+    ``count`` in stream order.  ``ops[i]`` is the wire kind code (0 = read,
+    1 = write, 2+ = sync kind); for memory events ``addrs[i]`` is the
+    accessed address, for sync events it is the SyncVar identifier.  The two
+    sync-only columns (``sync_domains``, ``sync_timestamps``) are packed
+    densely — the *j*-th sync event in the stream reads its domain code and
+    timestamp at index *j* — so the memory-event common case pays for four
+    list appends, not six.
+    """
+
+    __slots__ = ("count", "ops", "tids", "addrs", "pcs",
+                 "sync_domains", "sync_timestamps",
+                 "memory_count", "sync_count")
+
+    def __init__(self):
+        self.count = 0
+        self.ops: List[int] = []
+        self.tids: List[int] = []
+        self.addrs: List[int] = []
+        self.pcs: List[int] = []
+        self.sync_domains: List[int] = []
+        self.sync_timestamps: List[int] = []
+        self.memory_count = 0
+        self.sync_count = 0
+
+    def to_events(self) -> List[Event]:
+        """Materialize the columns back into the object event stream."""
+        events: List[Event] = []
+        append = events.append
+        domains = self.sync_domains
+        timestamps = self.sync_timestamps
+        j = 0
+        for i in range(self.count):
+            op = self.ops[i]
+            if op < 2:
+                append(MemoryEvent(self.tids[i], self.addrs[i],
+                                   self.pcs[i], bool(op)))
+            else:
+                domain = domains[j]
+                append(SyncEvent(self.tids[i], _CODE_KINDS[op],
+                                 (_CODE_DOMAINS.get(domain, domain),
+                                  self.addrs[i]),
+                                 timestamps[j], self.pcs[i]))
+                j += 1
+        return events
+
+
+def columns_from_events(events: Sequence[Event]) -> SegmentColumns:
+    """Convert an in-memory event stream into :class:`SegmentColumns`.
+
+    This is the entry ramp into the batched detector path for producers
+    that still hold object streams (saved logs, the per-event ``feed``
+    compatibility shims).  Unknown SyncVar domains (possible only for
+    in-memory events, never on the wire) pass through unchanged.
+    """
+    cols = SegmentColumns()
+    ops = cols.ops
+    tids = cols.tids
+    addrs = cols.addrs
+    pcs = cols.pcs
+    domains = cols.sync_domains
+    timestamps = cols.sync_timestamps
+    n = 0
+    syncs = 0
+    for event in events:
+        if isinstance(event, MemoryEvent):
+            ops.append(1 if event.is_write else 0)
+            tids.append(event.tid)
+            addrs.append(event.addr)
+            pcs.append(event.pc)
+        else:
+            domain, ident = event.var
+            ops.append(_KIND_CODES[event.kind])
+            tids.append(event.tid)
+            addrs.append(ident)
+            pcs.append(event.pc)
+            domains.append(_DOMAIN_CODES.get(domain, domain))
+            timestamps.append(event.timestamp)
+            syncs += 1
+        n += 1
+    cols.count = n
+    cols.sync_count = syncs
+    cols.memory_count = n - syncs
+    return cols
+
+
+#: Highest valid sync kind code on the wire (codes are 2 + SyncKind index).
+_MAX_KIND_CODE = max(_CODE_KINDS)
+
+
+def decode_segment_columns(data: bytes,
+                           offset: int = 0) -> Tuple[SegmentColumns, int]:
+    """Parse one segment frame at ``offset`` into columns.
+
+    This is the hot decode path: one pass over the payload appending plain
+    ints into parallel lists, with no event-object or enum allocation.
+    Corrupt payloads raise (bad kind/domain codes, trailing bytes, short
+    records) — a poisoned segment must never silently mis-detect.
     """
     count = segment_event_count(data, offset)
     _, _, flags, _, payload_len = _SEG_HEADER.unpack_from(data, offset)
@@ -130,23 +233,63 @@ def decode_segment(data: bytes, offset: int = 0) -> Tuple[List[Event], int]:
     payload = bytes(data[start:start + payload_len])
     if flags & FLAG_ZLIB:
         payload = zlib.decompress(payload)
-    events: List[Event] = []
+    cols = SegmentColumns()
+    ops = cols.ops
+    tids = cols.tids
+    addrs = cols.addrs
+    pcs = cols.pcs
+    domains = cols.sync_domains
+    timestamps = cols.sync_timestamps
+    memory_unpack = _MEMORY2.unpack_from
+    sync_unpack = _SYNC2.unpack_from
+    memory_size = _MEMORY2.size
+    sync_size = _SYNC2.size
+    payload_end = len(payload)
     pos = 0
+    syncs = 0
     for _ in range(count):
+        if pos >= payload_end:
+            raise ValueError("truncated event in segment payload")
         kind_code = payload[pos]
         if kind_code < 2:
-            flag, tid, addr, pc = _MEMORY2.unpack_from(payload, pos)
-            pos += _MEMORY2.size
-            events.append(MemoryEvent(tid, addr, _decode_pc(pc), bool(flag)))
+            flag, tid, addr, pc = memory_unpack(payload, pos)
+            pos += memory_size
+            ops.append(flag)
+            tids.append(tid)
+            addrs.append(addr)
+            pcs.append(-1 if pc == _PC_NONE else pc)
         else:
-            code, domain_code, tid, ident, ts, pc = _SYNC2.unpack_from(payload, pos)
-            pos += _SYNC2.size
-            events.append(SyncEvent(tid, _CODE_KINDS[code],
-                                    (_CODE_DOMAINS[domain_code], ident),
-                                    ts, _decode_pc(pc)))
-    if pos != len(payload):
+            code, domain_code, tid, ident, ts, pc = sync_unpack(payload, pos)
+            pos += sync_size
+            if code > _MAX_KIND_CODE:
+                raise ValueError(f"bad sync kind code {code}")
+            if domain_code not in _CODE_DOMAINS:
+                raise ValueError(f"bad sync-var domain code {domain_code}")
+            ops.append(code)
+            tids.append(tid)
+            addrs.append(ident)
+            pcs.append(-1 if pc == _PC_NONE else pc)
+            domains.append(domain_code)
+            timestamps.append(ts)
+            syncs += 1
+    if pos != payload_end:
         raise ValueError("trailing bytes in segment payload")
-    return events, start + payload_len
+    cols.count = count
+    cols.sync_count = syncs
+    cols.memory_count = count - syncs
+    return cols, start + payload_len
+
+
+def decode_segment(data: bytes, offset: int = 0) -> Tuple[List[Event], int]:
+    """Parse one segment frame at ``offset``.
+
+    Returns the decoded events (stream order, tids preserved) and the offset
+    of the first byte after the frame.  Implemented on top of
+    :func:`decode_segment_columns` so the object path and the columnar hot
+    path can never drift apart.
+    """
+    cols, end = decode_segment_columns(data, offset)
+    return cols.to_events(), end
 
 
 def split_log(log: EventLog, *, segment_events: int = 512,

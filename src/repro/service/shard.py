@@ -25,10 +25,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Tuple
 
-from ..detector.hb import HappensBeforeDetector
+from ..detector.flat import FlatDetector
 from ..detector.races import RaceReport
-from ..eventlog.events import Event, SyncEvent
-from ..eventlog.segment import decode_segment
+from ..eventlog.events import Event
+from ..eventlog.segment import (SegmentColumns, columns_from_events,
+                                decode_segment_columns)
 from .protocol import report_to_wire
 
 __all__ = ["SHARD_BLOCK_SHIFT", "shard_of", "ShardDetector", "worker_main"]
@@ -57,22 +58,29 @@ class ShardDetector:
             raise ValueError(f"shard {shard_id} outside 0..{num_shards - 1}")
         self.shard_id = shard_id
         self.num_shards = num_shards
-        self._detector = HappensBeforeDetector(alloc_as_sync=alloc_as_sync)
+        self._detector = FlatDetector("hb", alloc_as_sync=alloc_as_sync)
         self.sync_events = 0
         self.memory_events = 0
         self.segments = 0
 
+    def _consume(self, cols: SegmentColumns) -> None:
+        memory, sync = self._detector.feed_batch(
+            cols, shard_id=self.shard_id, num_shards=self.num_shards,
+            block_shift=SHARD_BLOCK_SHIFT)
+        self.memory_events += memory
+        self.sync_events += sync
+
+    def feed_columns(self, cols: SegmentColumns) -> None:
+        """Consume one decoded segment's columns (the worker hot path)."""
+        self._consume(cols)
+        self.segments += 1
+
     def feed(self, event: Event) -> None:
-        if isinstance(event, SyncEvent):
-            self.sync_events += 1
-            self._detector.feed(event)
-        elif shard_of(event.addr, self.num_shards) == self.shard_id:
-            self.memory_events += 1
-            self._detector.feed(event)
+        """Per-event compatibility shim over the batched path."""
+        self._consume(columns_from_events((event,)))
 
     def feed_segment(self, events: Iterable[Event]) -> None:
-        for event in events:
-            self.feed(event)
+        self._consume(columns_from_events(list(events)))
         self.segments += 1
 
     @property
@@ -120,7 +128,7 @@ def worker_main(worker_id: int, in_queue, out_queue, num_shards: int,
         if verb == "segment":
             _, client_id, seq, shard_ids, payload = message
             try:
-                events, _ = decode_segment(payload)
+                cols, _ = decode_segment_columns(payload)
             except Exception as exc:
                 # Catch everything: the server only validates the outer
                 # frame header, so a corrupt payload can surface as
@@ -129,9 +137,9 @@ def worker_main(worker_id: int, in_queue, out_queue, num_shards: int,
                                f"bad segment: {exc}"))
                 continue
             for shard_id in shard_ids:
-                detector_for(client_id, shard_id).feed_segment(events)
+                detector_for(client_id, shard_id).feed_columns(cols)
             out_queue.put(("ack", worker_id, client_id, seq,
-                           tuple(shard_ids), len(events)))
+                           tuple(shard_ids), cols.count))
         elif verb == "finalize":
             _, client_id, shard_ids = message
             for shard_id in shard_ids:

@@ -1,0 +1,230 @@
+"""Differential harness: the flat batched detector vs the references.
+
+The flat-clock hot path (:class:`repro.detector.flat.FlatDetector`) rewrites
+the correctness core of the project, so its contract is *byte-identical*
+output, not statistical agreement: on any event stream, the batched
+detector must produce exactly the reference detector's ``RaceReport``
+(occurrence counts, example instances, racy addresses) and diagnostics
+(fast-path hits, escalations, events processed) for the same algorithm.
+
+Three layers of evidence:
+
+* every registered workload, profiled with the Full sampler (dense logs,
+  real sync structure) — byte-identical reports on all 12;
+* hypothesis-randomized streams — interleaved sync/memory traffic over all
+  sync kinds including page alloc/free, both ``alloc_as_sync`` modes, and
+  the per-event ``feed`` shim;
+* directed edge cases — read-shared escalation, collapse back to epochs,
+  and re-escalation, where FastTrack's state machine has its corners.
+
+One deliberate non-assertion: FastTrack and HB may report *different PC
+pairs* (FastTrack's same-epoch read fast path can skip a write-race check
+that HB performs, so neither race-key set contains the other).  The
+order-independent invariant both must share is the set of racy addresses.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import workloads
+from repro.core.literace import LiteRace
+from repro.detector.fasttrack import FastTrackDetector
+from repro.detector.flat import FlatDetector
+from repro.detector.hb import HappensBeforeDetector
+from repro.eventlog.events import MemoryEvent, SyncEvent, SyncKind
+from repro.eventlog.segment import columns_from_events
+
+#: Per-workload cap: differential equivalence on a prefix is still exact
+#: (both sides consume the same events), and it bounds tier-1 runtime.
+MAX_EVENTS = 60_000
+
+WORKLOADS = list(workloads.names())
+
+
+def report_key(detector):
+    report = detector.report
+    return (dict(report.occurrences), dict(report.examples),
+            set(report.addresses))
+
+
+def reference_for(algorithm, alloc_as_sync=True):
+    if algorithm == "fasttrack":
+        return FastTrackDetector(alloc_as_sync=alloc_as_sync)
+    return HappensBeforeDetector(alloc_as_sync=alloc_as_sync)
+
+
+def assert_flat_matches(events, algorithm, alloc_as_sync=True):
+    """The core differential check, returning both detectors."""
+    reference = reference_for(algorithm, alloc_as_sync).feed_all(events)
+    flat = FlatDetector(algorithm, alloc_as_sync=alloc_as_sync)
+    flat.feed_batch(columns_from_events(events))
+    assert report_key(flat) == report_key(reference)
+    if algorithm == "fasttrack":
+        assert flat.fast_path_hits == reference.fast_path_hits
+        assert flat.escalations == reference.escalations
+    else:
+        assert flat.events_processed == reference.events_processed
+    return reference, flat
+
+
+@pytest.fixture(scope="module")
+def workload_logs():
+    logs = {}
+    for name in WORKLOADS:
+        program = workloads.build(name, seed=1, scale=0.05)
+        _, log = LiteRace(sampler="Full", seed=1).profile(program)
+        logs[name] = log.events[:MAX_EVENTS]
+    return logs
+
+
+class TestAllWorkloads:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_byte_identical_reports(self, workload_logs, name):
+        events = workload_logs[name]
+        ft_ref, ft_flat = assert_flat_matches(events, "fasttrack")
+        hb_ref, hb_flat = assert_flat_matches(events, "hb")
+        # Across algorithms the racy-address set is the shared invariant.
+        assert ft_ref.report.addresses == hb_ref.report.addresses
+        assert ft_flat.report.addresses == hb_flat.report.addresses
+
+    def test_workload_set_is_complete(self):
+        # The acceptance bar is "all 12 workloads"; fail loudly if the
+        # registry changes shape rather than silently testing fewer.
+        assert len(WORKLOADS) == 12
+
+
+# -- randomized streams ------------------------------------------------------
+
+_SYNC_CHOICES = [
+    (SyncKind.LOCK, "mutex"), (SyncKind.UNLOCK, "mutex"),
+    (SyncKind.WAIT, "event"), (SyncKind.NOTIFY, "event"),
+    (SyncKind.FORK, "thread"), (SyncKind.JOIN, "thread"),
+    (SyncKind.THREAD_START, "thread"), (SyncKind.THREAD_EXIT, "thread"),
+    (SyncKind.ATOMIC, "atomic"),
+    (SyncKind.ALLOC_PAGE, "page"), (SyncKind.FREE_PAGE, "page"),
+]
+
+
+@st.composite
+def event_streams(draw, max_events=300):
+    """Interleaved sync/memory streams over a small, collision-rich space.
+
+    Few addresses and few PCs force the interesting paths: same-epoch hits,
+    read-shared escalation, collapse on ordered writes, and repeated race
+    recording on the same PC pair.
+    """
+    n = draw(st.integers(0, max_events))
+    events = []
+    ts = 0
+    for _ in range(n):
+        tid = draw(st.integers(0, 3))
+        if draw(st.booleans()) and draw(st.integers(0, 2)) == 0:
+            kind, domain = draw(st.sampled_from(_SYNC_CHOICES))
+            ts += 1
+            events.append(SyncEvent(tid, kind, (domain,
+                                                draw(st.integers(0, 2))),
+                                    ts, draw(st.integers(0, 40))))
+        else:
+            events.append(MemoryEvent(tid, draw(st.integers(0, 7)),
+                                      draw(st.integers(0, 40)),
+                                      draw(st.booleans())))
+    return events
+
+
+class TestRandomizedStreams:
+    @settings(max_examples=60, deadline=None)
+    @given(events=event_streams(), alloc=st.booleans())
+    def test_fasttrack_byte_identical(self, events, alloc):
+        assert_flat_matches(events, "fasttrack", alloc_as_sync=alloc)
+
+    @settings(max_examples=60, deadline=None)
+    @given(events=event_streams(), alloc=st.booleans())
+    def test_hb_byte_identical(self, events, alloc):
+        assert_flat_matches(events, "hb", alloc_as_sync=alloc)
+
+    @settings(max_examples=30, deadline=None)
+    @given(events=event_streams(max_events=120))
+    def test_racy_addresses_agree_across_algorithms(self, events):
+        ft = FastTrackDetector().feed_all(events)
+        hb = HappensBeforeDetector().feed_all(events)
+        assert ft.report.addresses == hb.report.addresses
+
+    @settings(max_examples=25, deadline=None)
+    @given(events=event_streams(max_events=150))
+    def test_feed_shim_matches_reference(self, events):
+        for algorithm in ("fasttrack", "hb"):
+            reference = reference_for(algorithm).feed_all(events)
+            shim = FlatDetector(algorithm)
+            for event in events:
+                shim.feed(event)
+            assert report_key(shim) == report_key(reference)
+
+    @settings(max_examples=25, deadline=None)
+    @given(events=event_streams(max_events=150),
+           split=st.integers(0, 150))
+    def test_batch_boundaries_are_invisible(self, events, split):
+        # Feeding one batch or two must be indistinguishable: detector
+        # state carries across feed_batch calls exactly.
+        whole = FlatDetector("fasttrack")
+        whole.feed_batch(columns_from_events(events))
+        halved = FlatDetector("fasttrack")
+        halved.feed_batch(columns_from_events(events[:split]))
+        halved.feed_batch(columns_from_events(events[split:]))
+        assert report_key(whole) == report_key(halved)
+        assert whole.fast_path_hits == halved.fast_path_hits
+        assert whole.escalations == halved.escalations
+
+
+# -- directed FastTrack state-machine edges ----------------------------------
+
+def mem(tid, addr, pc, write):
+    return MemoryEvent(tid, addr, pc, write)
+
+
+def sync(tid, kind, ident, ts, pc=0):
+    return SyncEvent(tid, kind, ("mutex", ident), ts, pc)
+
+
+class TestEscalationEdges:
+    def test_read_shared_escalation_and_counters(self):
+        # Two unordered readers escalate the read epoch to a read map.
+        events = [mem(0, 0x10, 1, False), mem(1, 0x10, 2, False)]
+        ref, flat = assert_flat_matches(events, "fasttrack")
+        assert flat.escalations == 1
+
+    def test_write_collapses_read_map(self):
+        # Escalate, order everything via a lock handoff, then write: the
+        # ordered write collapses the read map back to epoch state, and a
+        # later unordered read must escalate again.
+        events = [
+            mem(0, 0x10, 1, False),
+            mem(1, 0x10, 2, False),          # escalate
+            sync(1, SyncKind.UNLOCK, 9, 1),
+            sync(0, SyncKind.LOCK, 9, 2),
+            mem(0, 0x10, 3, True),           # ordered write: collapse
+            mem(2, 0x10, 4, False),          # unordered read vs that write
+            mem(0, 0x10, 5, False),          # second reader: escalate again
+        ]
+        ref, flat = assert_flat_matches(events, "fasttrack")
+        assert flat.escalations == 2
+
+    def test_same_epoch_fast_paths_counted(self):
+        events = [mem(0, 0x10, 1, True)] + [mem(0, 0x10, 2, True)] * 5 \
+            + [mem(0, 0x10, 3, False)] * 3
+        ref, flat = assert_flat_matches(events, "fasttrack")
+        assert flat.fast_path_hits == ref.fast_path_hits > 0
+
+    def test_alloc_free_reset_vs_plain_sync(self):
+        # ALLOC_PAGE/FREE_PAGE are both acquire and release; with
+        # alloc_as_sync off they are skipped entirely.  Both modes must
+        # match their reference byte for byte.
+        events = [
+            sync(0, SyncKind.ALLOC_PAGE, 1, 1),
+            mem(0, 0x40, 1, True),
+            sync(0, SyncKind.FREE_PAGE, 1, 2),
+            sync(1, SyncKind.ALLOC_PAGE, 1, 3),
+            mem(1, 0x40, 2, True),
+        ]
+        for alloc in (True, False):
+            assert_flat_matches(events, "fasttrack", alloc_as_sync=alloc)
+            assert_flat_matches(events, "hb", alloc_as_sync=alloc)

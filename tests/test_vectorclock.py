@@ -1,5 +1,6 @@
 """Unit and property tests for vector clocks."""
 
+import pytest
 from hypothesis import given, strategies as st
 
 from repro.detector.vectorclock import VectorClock
@@ -37,8 +38,14 @@ class TestBasics:
     def test_equality_ignores_zero_entries(self):
         assert vc({1: 0, 2: 3}) == vc({2: 3})
 
-    def test_hash_consistent_with_eq(self):
-        assert hash(vc({1: 0, 2: 3})) == hash(vc({2: 3}))
+    def test_unhashable(self):
+        # Regression: clocks are mutable (tick/join mutate in place), so a
+        # hashable clock silently corrupts any set/dict it is stored in the
+        # moment it advances.  VectorClock once defined __hash__; it must not.
+        with pytest.raises(TypeError):
+            hash(vc({2: 3}))
+        with pytest.raises(TypeError):
+            {vc({})}
 
 
 class TestOrdering:
