@@ -8,9 +8,10 @@
 # tier-1 via tests/test_service_smoke.py; validate-smoke drives the race
 # validation CLI (run --log-out / validate / run --validate) end to end
 # and is wired into tier-1 via tests/test_validate_smoke.py; bench-smoke
-# runs the detector throughput harness at tiny scale and validates the
-# BENCH_detector.json schema, wired into tier-1 via
-# tests/test_bench_smoke.py (regenerate the committed numbers with
+# runs the detector throughput harness at tiny scale under BOTH kernels
+# (numpy and the REPRO_NO_NUMPY=1 pure fallback) and validates the
+# BENCH_detector.json schema-2 trajectory, wired into tier-1 via
+# tests/test_bench_smoke.py (append a new committed entry with
 # `python -m repro bench --out BENCH_detector.json`).
 
 PYTHON ?= python
@@ -30,8 +31,11 @@ serve-smoke:
 validate-smoke:
 	$(PYTHON) -m pytest tests/test_validate_smoke.py -q
 
+# Both kernels: the default run picks up numpy when installed; the second
+# run forces the pure-Python fallback via REPRO_NO_NUMPY=1.
 bench-smoke:
 	$(PYTHON) -m pytest tests/test_bench_smoke.py -q
+	REPRO_NO_NUMPY=1 $(PYTHON) -m pytest tests/test_bench_smoke.py -q
 
 staticpass:
 	$(PYTHON) -m repro staticpass --all --check --scale 0.2

@@ -206,20 +206,57 @@ def _cmd_validate(args) -> int:
 def _cmd_analyze(args) -> int:
     """Offline analysis of a saved log (§4.4: profile now, triage later)."""
     from .detector.flat import FlatDetector
-    from .detector.merge import merge_thread_logs
-    from .eventlog.store import load_log
+    from .eventlog.encode import read_log_header
 
-    log = load_log(args.log)
-    merged = merge_thread_logs(log)
+    with open(args.log, "rb") as handle:
+        data = handle.read()
+    version, sections, offset = read_log_header(data)
     detector = FlatDetector("hb", alloc_as_sync=not args.no_alloc_sync)
-    detector.feed_all(merged.events)
+
+    if version == 2:
+        # Segmented logs carry the interleaving on the wire, so the frames
+        # stream straight into the batched detector as columns — no event
+        # objects, no merge pass.
+        from .eventlog.segment import SegmentBatcher
+
+        sync_count = 0
+        memory_count = 0
+        threads = set()
+
+        def sink(cols) -> None:
+            nonlocal sync_count, memory_count
+            sync_count += cols.sync_count
+            memory_count += cols.memory_count
+            tids = cols.tids
+            threads.update(tids.tolist() if hasattr(tids, "tolist")
+                           else tids)
+            detector.feed_batch(cols)
+
+        with SegmentBatcher(sink) as batcher:
+            for _ in range(sections):
+                _, offset = batcher.push(data, offset)
+        if offset != len(data):
+            raise ValueError("trailing bytes after last segment")
+        num_threads = len(threads)
+        inconsistencies = 0
+    else:
+        from .detector.merge import merge_thread_logs
+        from .eventlog.encode import decode_log
+
+        log = decode_log(data)
+        merged = merge_thread_logs(log)
+        detector.feed_all(merged.events)
+        sync_count = log.sync_count
+        memory_count = log.memory_count
+        num_threads = len(log.per_thread())
+        inconsistencies = merged.inconsistencies
     report = detector.report
 
-    print(f"log      : {args.log} — {log.sync_count:,} sync events, "
-          f"{log.memory_count:,} memory events, "
-          f"{len(log.per_thread())} threads")
-    if merged.inconsistencies:
-        print(f"WARNING  : {merged.inconsistencies} timestamp "
+    print(f"log      : {args.log} — {sync_count:,} sync events, "
+          f"{memory_count:,} memory events, "
+          f"{num_threads} threads")
+    if inconsistencies:
+        print(f"WARNING  : {inconsistencies} timestamp "
               f"inconsistencies during order reconstruction")
     if not report.num_static:
         print("no data races detected")

@@ -14,16 +14,28 @@ segments (the production shape), and consumed end to end two ways:
 
 * **reference** — ``decode_segment`` into event objects, then the per-event
   ``FastTrackDetector.feed`` loop (the pre-flat hot path);
-* **flat** — ``decode_segment_columns`` into parallel columns, then
-  ``FlatDetector('fasttrack').feed_batch`` (the batched hot path).
+* **flat** — :class:`~repro.eventlog.segment.SegmentBatcher` batching the
+  encoded frames into one vectorized decode per ~4096 events, feeding
+  ``FlatDetector('fasttrack').feed_batch`` (the production hot path,
+  including the numpy pre-filter kernel when numpy is importable — the
+  ``kernel`` field records which ran).
 
 Both sides do the full job (bytes in, ``RaceReport`` out), so the speedup
 is what a shard worker actually gains.  The harness asserts the two sides
 produce identical reports before trusting any timing.
 
-The server number runs the shard-worker loop itself — decode + the
-:class:`~repro.service.shard.ShardDetector` columnar feed for one shard of
-four — giving segments/sec for a single worker process.
+The server number runs the shard-worker loop itself — the batched
+:meth:`~repro.service.shard.ShardDetector.feed_frame` path for one shard
+of four — giving segments/sec for a single worker process.
+
+The ``online`` section sweeps :class:`OnlineRaceDetector`'s micro-batch
+size (``flush_events``) on the realistic ``private_mixed`` stream; the
+committed default in :mod:`repro.detector.online` is the sweep's winner.
+
+Schema 2: ``BENCH_detector.json`` holds a ``trajectory`` list — one entry
+per committed run, oldest first — so each PR *appends* its numbers and
+regressions show up as a broken trajectory.  ``write_bench`` migrates a
+schema-1 file into the first trajectory entry.
 
 Streams (all 8 threads, fixed per-stream seeds):
 
@@ -51,9 +63,10 @@ from typing import Callable, Dict, List
 
 from .detector.fasttrack import FastTrackDetector
 from .detector.flat import FlatDetector
+from .detector.online import OnlineRaceDetector
+from .detector.vectorized import kernel_name
 from .eventlog.events import Event, MemoryEvent, SyncEvent, SyncKind
-from .eventlog.segment import (decode_segment, decode_segment_columns,
-                               encode_segment)
+from .eventlog.segment import SegmentBatcher, decode_segment, encode_segment
 from .service.shard import ShardDetector
 
 __all__ = [
@@ -61,14 +74,19 @@ __all__ = [
     "DEFAULT_EVENTS",
     "DEFAULT_REPEATS",
     "DEFAULT_SEGMENT_EVENTS",
+    "ONLINE_SWEEP_SIZES",
     "STREAMS",
     "build_stream",
     "run_bench",
     "validate_bench",
+    "validate_entry",
     "write_bench",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: ``flush_events`` candidates for the online micro-batch sweep.
+ONLINE_SWEEP_SIZES = (128, 256, 512, 1024, 2048, 4096)
 
 #: Events per stream for the committed numbers; ``repro bench --quick``
 #: shrinks this for smoke runs.
@@ -216,10 +234,10 @@ def _bench_stream(name: str, events: List[Event], frames: List[bytes],
 
     def flat() -> FlatDetector:
         detector = FlatDetector("fasttrack")
-        feed_batch = detector.feed_batch
-        for frame in frames:
-            cols, _ = decode_segment_columns(frame)
-            feed_batch(cols)
+        with SegmentBatcher(detector.feed_batch) as batcher:
+            push = batcher.push
+            for frame in frames:
+                push(frame)
         return detector
 
     # Equivalence gate: never publish a speedup for a detector that
@@ -248,12 +266,13 @@ def _bench_stream(name: str, events: List[Event], frames: List[bytes],
 
 def _bench_server(frames: List[bytes], total_events: int,
                   repeats: int) -> Dict[str, object]:
-    """The shard-worker loop: decode + columnar feed for one shard of N."""
+    """The shard-worker loop: batched frame feed for one shard of N."""
     def worker() -> ShardDetector:
         shard = ShardDetector(0, _SERVER_SHARDS)
+        feed_frame = shard.feed_frame
         for frame in frames:
-            cols, _ = decode_segment_columns(frame)
-            shard.feed_columns(cols)
+            feed_frame(frame)
+        shard.flush()
         return shard
 
     (best,) = _best_of([worker], repeats)
@@ -265,14 +284,44 @@ def _bench_server(frames: List[bytes], total_events: int,
     }
 
 
+def _bench_online(events: List[Event], repeats: int) -> Dict[str, object]:
+    """Sweep the online detector's micro-batch size on one stream."""
+    def run_at(size: int) -> Callable[[], OnlineRaceDetector]:
+        def side() -> OnlineRaceDetector:
+            detector = OnlineRaceDetector(flush_events=size)
+            feed = detector.feed
+            for event in events:
+                feed(event)
+            detector.flush()
+            return detector
+        return side
+
+    bests = _best_of([run_at(size) for size in ONLINE_SWEEP_SIZES], repeats)
+    n = len(events)
+    rates = {str(size): round(n / best)
+             for size, best in zip(ONLINE_SWEEP_SIZES, bests)}
+    best_size = max(ONLINE_SWEEP_SIZES,
+                    key=lambda size: rates[str(size)])
+    return {
+        "stream": "private_mixed",
+        "events_per_sec": rates,
+        "best_flush_events": best_size,
+    }
+
+
 def run_bench(events_per_stream: int = DEFAULT_EVENTS,
               repeats: int = DEFAULT_REPEATS,
               segment_events: int = DEFAULT_SEGMENT_EVENTS,
               progress: Callable[[str], None] = None) -> Dict[str, object]:
-    """Run every bench stream and return the ``BENCH_detector.json`` doc."""
+    """Run every bench stream and return one trajectory *entry*.
+
+    Pass the entry to :func:`write_bench` to append it to a
+    ``BENCH_detector.json`` trajectory.
+    """
     streams: Dict[str, Dict[str, object]] = {}
     server_frames: List[bytes] = []
     server_events = 0
+    online_events: List[Event] = []
     for name in STREAMS:
         events = build_stream(name, events_per_stream)
         frames = _encode_frames(events, segment_events)
@@ -284,19 +333,26 @@ def run_bench(events_per_stream: int = DEFAULT_EVENTS,
                      f"{row['speedup']:.2f}x")
         server_frames.extend(frames)
         server_events += len(events)
+        if name == "private_mixed":
+            online_events = events
 
     speedups = [row["speedup"] for row in streams.values()]
     geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
     server = _bench_server(server_frames, server_events, repeats)
+    online = _bench_online(online_events, repeats)
     if progress is not None:
-        progress(f"{'geomean':16s} {geomean:.2f}x")
+        progress(f"{'geomean':16s} {geomean:.2f}x  (kernel: {kernel_name()})")
         progress(f"{'server worker':16s} {server['segments_per_sec']:,} "
                  f"segments/s ({server['events_per_sec']:,} ev/s, "
                  f"1 shard of {server['num_shards']})")
+        rates = online["events_per_sec"]
+        sweep = "  ".join(f"{size}:{rates[str(size)]:,}"
+                          for size in ONLINE_SWEEP_SIZES)
+        progress(f"{'online sweep':16s} {sweep}  "
+                 f"(best flush_events: {online['best_flush_events']})")
     return {
-        "schema": SCHEMA_VERSION,
-        "bench": "detector",
         "generated": time.strftime("%Y-%m-%d"),
+        "kernel": kernel_name(),
         "config": {
             "events_per_stream": events_per_stream,
             "segment_events": segment_events,
@@ -306,6 +362,7 @@ def run_bench(events_per_stream: int = DEFAULT_EVENTS,
         "streams": streams,
         "geomean_speedup": round(geomean, 3),
         "server": server,
+        "online": online,
     }
 
 
@@ -318,6 +375,49 @@ _SERVER_FIELDS = ("num_shards", "segments", "segments_per_sec",
                   "events_per_sec")
 
 
+def validate_entry(entry: object, where: str = "entry") -> List[str]:
+    """Schema problems in one trajectory entry ([] when valid)."""
+    problems: List[str] = []
+    if not isinstance(entry, dict):
+        return [f"{where} is not an object"]
+    if not isinstance(entry.get("generated"), str):
+        problems.append(f"{where}: missing generated date")
+    if entry.get("kernel") not in ("numpy", "pure"):
+        problems.append(f"{where}: kernel must be 'numpy' or 'pure'")
+    config = entry.get("config")
+    if not isinstance(config, dict):
+        problems.append(f"{where}: missing config object")
+    streams = entry.get("streams")
+    if not isinstance(streams, dict) or not streams:
+        problems.append(f"{where}: missing streams object")
+    else:
+        for name in STREAMS:
+            if name not in streams:
+                problems.append(f"{where}: missing stream {name!r}")
+        for name, row in streams.items():
+            for field in _STREAM_FIELDS:
+                value = row.get(field) if isinstance(row, dict) else None
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{where}: stream {name!r}: bad field {field!r}")
+    if not isinstance(entry.get("geomean_speedup"), (int, float)):
+        problems.append(f"{where}: missing geomean_speedup")
+    server = entry.get("server")
+    if not isinstance(server, dict):
+        problems.append(f"{where}: missing server object")
+    else:
+        for field in _SERVER_FIELDS:
+            if not isinstance(server.get(field), (int, float)):
+                problems.append(f"{where}: server: bad field {field!r}")
+    online = entry.get("online")
+    if online is not None:  # absent in entries migrated from schema 1
+        if not (isinstance(online, dict)
+                and isinstance(online.get("events_per_sec"), dict)
+                and isinstance(online.get("best_flush_events"), int)):
+            problems.append(f"{where}: bad online object")
+    return problems
+
+
 def validate_bench(doc: object) -> List[str]:
     """Schema problems in a ``BENCH_detector.json`` doc ([] when valid)."""
     problems: List[str] = []
@@ -327,34 +427,52 @@ def validate_bench(doc: object) -> List[str]:
         problems.append(f"schema must be {SCHEMA_VERSION}")
     if doc.get("bench") != "detector":
         problems.append("bench must be 'detector'")
-    config = doc.get("config")
-    if not isinstance(config, dict):
-        problems.append("missing config object")
-    streams = doc.get("streams")
-    if not isinstance(streams, dict) or not streams:
-        problems.append("missing streams object")
-    else:
-        for name in STREAMS:
-            if name not in streams:
-                problems.append(f"missing stream {name!r}")
-        for name, row in streams.items():
-            for field in _STREAM_FIELDS:
-                value = row.get(field) if isinstance(row, dict) else None
-                if not isinstance(value, (int, float)) or value < 0:
-                    problems.append(f"stream {name!r}: bad field {field!r}")
-    if not isinstance(doc.get("geomean_speedup"), (int, float)):
-        problems.append("missing geomean_speedup")
-    server = doc.get("server")
-    if not isinstance(server, dict):
-        problems.append("missing server object")
-    else:
-        for field in _SERVER_FIELDS:
-            if not isinstance(server.get(field), (int, float)):
-                problems.append(f"server: bad field {field!r}")
+    trajectory = doc.get("trajectory")
+    if not isinstance(trajectory, list) or not trajectory:
+        problems.append("missing trajectory list")
+        return problems
+    for i, entry in enumerate(trajectory):
+        problems.extend(validate_entry(entry, where=f"trajectory[{i}]"))
     return problems
 
 
-def write_bench(doc: Dict[str, object], path: str) -> None:
+def _migrate_schema1(doc: Dict[str, object]) -> Dict[str, object]:
+    """A schema-1 doc becomes the first trajectory entry (kernel 'pure':
+    those numbers predate the vectorized kernel)."""
+    entry = {key: doc[key] for key in
+             ("generated", "config", "streams", "geomean_speedup", "server")
+             if key in doc}
+    entry["kernel"] = "pure"
+    return entry
+
+
+def write_bench(entry: Dict[str, object], path: str) -> None:
+    """Append ``entry`` to the trajectory at ``path`` (created if absent).
+
+    An existing schema-1 file is migrated: its numbers become the first
+    trajectory entry, so history is preserved rather than overwritten.
+    """
+    problems = validate_entry(entry)
+    if problems:
+        raise ValueError("refusing to write invalid bench entry: "
+                         + "; ".join(problems))
+    trajectory: List[Dict[str, object]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        existing = None
+    if isinstance(existing, dict):
+        if existing.get("schema") == 1:
+            trajectory.append(_migrate_schema1(existing))
+        elif isinstance(existing.get("trajectory"), list):
+            trajectory.extend(existing["trajectory"])
+    trajectory.append(entry)
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "bench": "detector",
+        "trajectory": trajectory,
+    }
     problems = validate_bench(doc)
     if problems:
         raise ValueError("refusing to write invalid bench doc: "

@@ -38,18 +38,25 @@ __all__ = ["OnlineRaceDetector", "FLUSH_EVENTS"]
 _MEMORY_ANALYSIS_COST = 25
 _SYNC_ANALYSIS_COST = 120
 
-#: Micro-batch size: events buffered before a ``feed_batch`` flush.  Small
-#: enough that the buffered tail is negligible memory, large enough to
-#: amortize batch setup.
-FLUSH_EVENTS = 256
+#: Default micro-batch size: events buffered before a ``feed_batch`` flush.
+#: Small enough that the buffered tail is negligible memory, large enough
+#: to amortize batch setup and let the vectorized pre-filter engage.  The
+#: committed value is the winner of the ``repro bench`` flush-size sweep
+#: (see ``BENCH_detector.json``'s ``online`` section — throughput rises
+#: monotonically to here); override per instance via ``flush_events``.
+FLUSH_EVENTS = 4096
 
 
 class OnlineRaceDetector:
     """A streaming event sink performing happens-before analysis."""
 
-    def __init__(self, alloc_as_sync: bool = True):
+    def __init__(self, alloc_as_sync: bool = True,
+                 flush_events: int = FLUSH_EVENTS):
+        if flush_events < 1:
+            raise ValueError("flush_events must be >= 1")
         self._detector = FlatDetector("hb", alloc_as_sync=alloc_as_sync)
         self._pending: List[Event] = []
+        self.flush_events = flush_events
         self.events_consumed = 0
         self.analysis_cycles = 0
 
@@ -62,7 +69,7 @@ class OnlineRaceDetector:
             self.analysis_cycles += _SYNC_ANALYSIS_COST
         pending = self._pending
         pending.append(event)
-        if len(pending) >= FLUSH_EVENTS:
+        if len(pending) >= self.flush_events:
             self.flush()
 
     def flush(self) -> None:

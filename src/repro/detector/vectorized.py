@@ -1,0 +1,420 @@
+"""Numpy pre-filter kernel for the flat detector hot path.
+
+The flat detector (:mod:`repro.detector.flat`) spends ~300ns of Python
+bytecode per memory event, and on realistic streams almost every one of
+those events takes a FastTrack fast path that neither records a race nor
+escalates anything — it only nudges one per-address epoch.  This module
+computes, array-wide with numpy *before* the per-event loop runs, which
+events provably take such paths, applies their net state effect directly,
+and hands the slow loop only the survivors.
+
+The unit of reasoning is the **per-address group**: all of a batch's
+memory accesses to one address, in stream order.  A group is swallowed
+whole — or not at all — when the batch satisfies the *single-owner rule*:
+
+* every (post-shard-filter) access to the address in this batch comes
+  from one thread ``t`` whose slot existed at batch start, and
+* the address's batch-start read/write state refers only to ``t``'s slot
+  (or is empty): for FastTrack, read and write epochs each 0 or packed
+  with ``t``'s slot; for HB, write epoch 0/own-slot and the read map
+  empty or ``{t's slot}``.
+
+Under that rule every access in the group is a same-slot fast path: reads
+adopt/keep ``t``'s epoch, writes overwrite ``t``'s own write epoch, no
+race check can fire (epoch xor stays under the clock mask) and no
+escalation can trigger.  Crucially the rule survives synchronization:
+acquires by ``t`` change only its vector clock (never consulted on these
+paths), and each release by ``t`` ticks its epoch by exactly one — so the
+thread's epoch at any event is ``epoch0 + (releases by t before it)``,
+computable array-wide.  The kernel counts per-thread release *intervals*
+with a vectorized scan and uses exact per-event epochs; there is no
+conservative cut at sync events.
+
+The group's net effect is then patched in closed form: last write sets
+the write epoch/pc, the reads after it set the read epoch (FastTrack: pc
+of the first read of the final interval — the last adoption; HB: the
+last read's map entry).  The differential harness asserts the result is
+byte-identical to the pure loop, counters included (each swallowed
+FastTrack event is provably one ``fast_path_hits``).
+
+Batch-start state comes from a kernel-owned **shadow** of the address
+table (read/write epochs only), refreshed after each batch for every
+address that had a surviving event, and invalidated wholesale whenever
+the detector processes events outside the kernel (the dirty flag) — an
+unknown address is simply never swallowed, so staleness degrades
+throughput, never correctness.
+
+The kernel also vectorizes the telemetry shard filter: the
+``(addr >> shift) % num_shards`` mask drops foreign-shard memory events
+at batch level, so shard workers stop paying a Python branch per
+filtered event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..eventlog.segment import NumpySegmentColumns, SegmentColumns
+from ..numpy_support import HAVE_NUMPY, np
+from .flat import (
+    EPOCH_CLOCK_MASK,
+    EPOCH_SHIFT,
+    _IS_PAGE,
+    _IS_RELEASE,
+    _MAX_CODE,
+)
+
+__all__ = ["VectorizedPrefilter", "kernel_name", "make_kernel"]
+
+#: Below this batch size the fixed numpy overhead (~20-60us of sort and
+#: scan per batch) costs more than the loop it replaces.
+_MIN_EVENTS = 128
+
+#: Sorted group keys pack ``(addr << 20) | position``; both must fit.
+_MAX_BATCH = 1 << 20
+_MAX_ADDR = 1 << 42
+
+#: Sentinel for "batch-start state unknown" — never equals a packed epoch
+#: (epochs are >= 0) nor an HB read-map flag (0, slot+1, or -1).
+_UNKNOWN = -(1 << 60)
+
+
+def kernel_name() -> str:
+    """Which kernel new detectors select by default: 'numpy' or 'pure'."""
+    return "numpy" if HAVE_NUMPY else "pure"
+
+
+def make_kernel(detector) -> Optional["VectorizedPrefilter"]:
+    """A prefilter bound to ``detector``, or None without numpy."""
+    if not HAVE_NUMPY:
+        return None
+    return VectorizedPrefilter(detector)
+
+
+class VectorizedPrefilter:
+    """Per-detector vectorized pre-filter state (see module docstring)."""
+
+    def __init__(self, detector):
+        self._detector = detector
+        self._fasttrack = detector.algorithm == "fasttrack"
+        #: addr -> batch-start (read_epoch, write_epoch) for FastTrack, or
+        #: (read_map_flag, write_epoch) for HB where the flag is 0 (empty),
+        #: slot+1 (single entry for that slot) or -1 (multiple entries).
+        self._shadow: Dict[int, Tuple[int, int]] = {}
+        self._dirty = False
+        self._pending_reconcile: Optional[List[int]] = None
+        # Release kinds tick the epoch; page alloc/free only count when the
+        # detector treats them as sync at all.
+        rel = [bool(_IS_RELEASE[c]) and
+               (detector.alloc_as_sync or not _IS_PAGE[c])
+               for c in range(_MAX_CODE + 1)]
+        self._release_table = np.array(rel, dtype=bool)
+        #: Diagnostics: memory events swallowed / survived across batches.
+        self.swallowed_events = 0
+        self.survived_events = 0
+
+    def mark_dirty(self) -> None:
+        """Events flowed outside the kernel: forget all batch-start state."""
+        self._dirty = True
+
+    # -- the pre-filter pass ------------------------------------------------
+    def prefilter(self, cols: SegmentColumns, shard_id, num_shards,
+                  block_shift):
+        """Split one batch into (survivor columns, skipped, swallowed).
+
+        Returns None to decline the batch (too small, sync-dominated,
+        out-of-range ids) — the caller then runs the pure loop and must
+        call :meth:`mark_dirty`.  On success the caller feeds the survivor
+        columns through the slow loop with *no* shard filter (already
+        applied), adds ``swallowed`` to ``fast_path_hits`` for FastTrack,
+        and calls :meth:`reconcile` after the loop.
+        """
+        n = cols.count
+        if n < _MIN_EVENTS or n >= _MAX_BATCH:
+            return None
+        if shard_id is None and cols.sync_count * 4 > n:
+            # Sync-dominated and nothing to filter: groups are shared
+            # almost by construction, so the pass would only add overhead.
+            return None
+        if isinstance(cols, NumpySegmentColumns):
+            ops, tids = cols.ops, cols.tids
+            addrs, pcs = cols.addrs, cols.pcs
+        else:
+            ops = np.array(cols.ops, np.int64)
+            tids = np.array(cols.tids, np.int64)
+            addrs = np.array(cols.addrs, np.int64)
+            pcs = np.array(cols.pcs, np.int64)
+        if self._dirty:
+            self._shadow.clear()
+            self._dirty = False
+
+        mem = ops < 2
+        if shard_id is not None:
+            drop = mem & ((addrs >> block_shift) % num_shards != shard_id)
+            skipped = int(drop.sum())
+            if skipped:
+                cand = mem & ~drop
+            else:
+                drop = None
+                cand = mem
+        else:
+            drop = None
+            skipped = 0
+            cand = mem
+
+        detector = self._detector
+        cidx = np.flatnonzero(cand)
+        if cidx.size == 0:
+            sub = self._compress(cols, ops, tids, addrs, pcs, None, drop)
+            return sub, skipped, 0
+
+        tmin = int(tids.min())
+        tmax = int(tids.max())
+        if tmin < 0 or tmax >= _MAX_BATCH << 2:
+            return None
+        caddr = addrs[cidx]
+        if int(caddr.min()) < 0 or int(caddr.max()) >= _MAX_ADDR:
+            return None
+
+        # Batch-start epoch and slot per thread, via a direct tid table.
+        slot_of = detector._slot_of
+        epochs = detector._epochs
+        me_table = np.full(tmax + 1, _UNKNOWN, np.int64)
+        slot_table = np.full(tmax + 1, -1, np.int64)
+        present = np.flatnonzero(np.bincount(tids, minlength=tmax + 1))
+        for tid in present.tolist():
+            slot = slot_of.get(tid)
+            if slot is not None:
+                me_table[tid] = epochs[slot]
+                slot_table[tid] = slot
+
+        # Release-interval index per event: how many epoch ticks thread t
+        # has performed before this event.  Exact, so swallowing reaches
+        # across sync events instead of cutting at them.
+        iv = np.zeros(n, np.int64)
+        rel_rows = self._release_table[ops]
+        if rel_rows.any():
+            pos = np.arange(n, dtype=np.int64)
+            for tid in np.unique(tids[rel_rows]).tolist():
+                rows = tids == tid
+                ticks = pos[rows & rel_rows]
+                iv[rows] = np.searchsorted(ticks, pos[rows], side="left")
+
+        # Group candidates by address, stream order within each group.
+        order = np.argsort((caddr << 20) | cidx)
+        sidx = cidx[order]
+        saddr = caddr[order]
+        rows = len(sidx)
+        newg = np.empty(rows, bool)
+        newg[0] = True
+        np.not_equal(saddr[1:], saddr[:-1], out=newg[1:])
+        gid = np.cumsum(newg) - 1
+        starts = np.flatnonzero(newg)
+        uaddr = saddr[starts]
+        groups = len(starts)
+
+        stid = tids[sidx]
+        single = (np.minimum.reduceat(stid, starts)
+                  == np.maximum.reduceat(stid, starts))
+        gtid = stid[starts]
+        gslot = slot_table[gtid]
+        gme0 = me_table[gtid]
+
+        # Batch-start shadow per group.  An address the detector knows but
+        # the shadow does not is UNKNOWN (never swallowed, reconciled once
+        # it survives a batch); an address new to both is genuinely (0, 0).
+        shadow = self._shadow
+        addresses = detector._addresses
+        shadow_get = shadow.get
+        rep_list: List[int] = []
+        wep_list: List[int] = []
+        for addr in uaddr.tolist():
+            entry = shadow_get(addr)
+            if entry is None:
+                if addr in addresses:
+                    rep_list.append(_UNKNOWN)
+                    wep_list.append(_UNKNOWN)
+                else:
+                    rep_list.append(0)
+                    wep_list.append(0)
+            else:
+                rep_list.append(entry[0])
+                wep_list.append(entry[1])
+        grep0 = np.fromiter(rep_list, np.int64, groups)
+        gwep0 = np.fromiter(wep_list, np.int64, groups)
+
+        wep_ok = (gwep0 == 0) | ((gwep0 > 0)
+                                 & ((gwep0 >> EPOCH_SHIFT) == gslot))
+        if self._fasttrack:
+            rep_ok = (grep0 == 0) | ((grep0 > 0)
+                                     & ((grep0 >> EPOCH_SHIFT) == gslot))
+        else:
+            rep_ok = (grep0 == 0) | (grep0 == gslot + 1)
+        gswallow = single & (gslot >= 0) & rep_ok & wep_ok
+
+        swallowed = 0
+        sw_rows = None
+        if gswallow.any():
+            sops = ops[sidx]
+            siv = iv[sidx]
+            ar = np.arange(rows, dtype=np.int64)
+            is_read = sops == 0
+            lastw = np.maximum.reduceat(np.where(~is_read, ar, -1), starts)
+            lastr = np.maximum.reduceat(np.where(is_read, ar, -1), starts)
+            lr_guard = np.maximum(lastr, 0)
+            lw_guard = np.maximum(lastw, 0)
+            iv_r = siv[lr_guard]
+            if self._fasttrack:
+                # pc of the *last adoption*: the first read of the final
+                # read run — reads after the last write that precedes the
+                # last read, in the last read's release interval.  (Writes
+                # reset the read epoch but never the read pc, so trailing
+                # writes do not mask the run.)
+                wprev = np.maximum.reduceat(
+                    np.where(~is_read & (ar < lastr[gid]), ar, -1), starts)
+                first_sel = (is_read & (ar > wprev[gid])
+                             & (siv == iv_r[gid]))
+                firstr = np.minimum.reduceat(
+                    np.where(first_sel, ar, rows), starts)
+                fr_pc = pcs[sidx[np.minimum(firstr, rows - 1)]]
+            else:
+                wprev = lastw
+                fr_pc = None
+            spcs_w = pcs[sidx[lw_guard]]
+            spcs_r = pcs[sidx[lr_guard]]
+            iv_w = siv[lw_guard]
+            sizes = np.diff(np.append(starts, rows))
+
+            sg = np.flatnonzero(gswallow)
+            swallowed = int(sizes[sg].sum())
+            self._patch(sg, uaddr, gme0, gslot, grep0, lastw, lastr, wprev,
+                        spcs_w, spcs_r, iv_w, iv_r, fr_pc)
+            sw_rows = gswallow[gid]
+
+        self._pending_reconcile = uaddr[~gswallow].tolist()
+        self.swallowed_events += swallowed
+        self.survived_events += int(cidx.size) - swallowed
+        sw_idx = sidx[sw_rows] if sw_rows is not None else None
+        sub = self._compress(cols, ops, tids, addrs, pcs, sw_idx, drop)
+        return sub, skipped, swallowed
+
+    # -- closed-form group effects -------------------------------------------
+    def _patch(self, sg, uaddr, gme0, gslot, grep0, lastw, lastr, wprev,
+               spcs_w, spcs_r, iv_w, iv_r, fr_pc) -> None:
+        """Apply each swallowed group's net state change before the loop."""
+        addresses = self._detector._addresses
+        shadow = self._shadow
+        a_l = uaddr[sg].tolist()
+        me_l = gme0[sg].tolist()
+        lw_l = lastw[sg].tolist()
+        lr_l = lastr[sg].tolist()
+        wpc_l = spcs_w[sg].tolist()
+        rpc_l = spcs_r[sg].tolist()
+        ivw_l = iv_w[sg].tolist()
+        ivr_l = iv_r[sg].tolist()
+        if self._fasttrack:
+            rep0_l = grep0[sg].tolist()
+            wp_l = wprev[sg].tolist()
+            fpc_l = fr_pc[sg].tolist()
+            for k, addr in enumerate(a_l):
+                state = addresses.get(addr)
+                if state is None:
+                    state = addresses[addr] = [0, -1, 0, -1, None]
+                me0 = me_l[k]
+                if lw_l[k] >= 0:
+                    wep = me0 + ivw_l[k]
+                    state[2] = wep
+                    state[3] = wpc_l[k]
+                else:
+                    wep = state[2]
+                if lr_l[k] >= 0:
+                    if not (wp_l[k] < 0 and ivr_l[k] == 0
+                            and rep0_l[k] == me0):
+                        # At least one read adopted; the last adoption is
+                        # the first read of the final run.  (In the
+                        # excluded case the read epoch was already current
+                        # at every read — the pc stays whatever it was.)
+                        state[1] = fpc_l[k]
+                    rep = 0 if lw_l[k] > lr_l[k] else me0 + ivr_l[k]
+                else:
+                    rep = 0
+                state[0] = rep
+                shadow[addr] = (rep, wep)
+        else:
+            slot_l = gslot[sg].tolist()
+            for k, addr in enumerate(a_l):
+                state = addresses.get(addr)
+                if state is None:
+                    state = addresses[addr] = [0, -1, {}]
+                me0 = me_l[k]
+                if lw_l[k] >= 0:
+                    state[0] = me0 + ivw_l[k]
+                    state[1] = wpc_l[k]
+                reads = state[2]
+                if lr_l[k] > lw_l[k]:
+                    if lw_l[k] >= 0:
+                        reads.clear()
+                    slot = slot_l[k]
+                    reads[slot] = ((me0 & EPOCH_CLOCK_MASK) + ivr_l[k],
+                                   rpc_l[k])
+                    shadow[addr] = (slot + 1, state[0])
+                else:
+                    reads.clear()
+                    shadow[addr] = (0, state[0])
+
+    # -- survivor columns ----------------------------------------------------
+    def _compress(self, cols, ops, tids, addrs, pcs, sw_idx, drop):
+        """List-backed survivor columns for the slow loop (syncs always)."""
+        n = cols.count
+        if sw_idx is None and drop is None:
+            if isinstance(cols, NumpySegmentColumns):
+                return cols.as_list_columns()
+            return cols
+        keep = np.ones(n, bool)
+        if drop is not None:
+            keep &= ~drop
+        if sw_idx is not None:
+            keep[sw_idx] = False
+        kidx = np.flatnonzero(keep)
+        sub = SegmentColumns()
+        sub.ops = ops[kidx].tolist()
+        sub.tids = tids[kidx].tolist()
+        sub.addrs = addrs[kidx].tolist()
+        sub.pcs = pcs[kidx].tolist()
+        domains = cols.sync_domains
+        timestamps = cols.sync_timestamps
+        sub.sync_domains = (domains if isinstance(domains, list)
+                            else domains.tolist())
+        sub.sync_timestamps = (timestamps if isinstance(timestamps, list)
+                               else timestamps.tolist())
+        sub.count = len(kidx)
+        sub.sync_count = cols.sync_count
+        sub.memory_count = sub.count - sub.sync_count
+        return sub
+
+    # -- post-loop shadow refresh --------------------------------------------
+    def reconcile(self) -> None:
+        """Reload the shadow for every address that had surviving events."""
+        pending = self._pending_reconcile
+        if pending is None:
+            return
+        self._pending_reconcile = None
+        addresses = self._detector._addresses
+        shadow = self._shadow
+        if self._fasttrack:
+            for addr in pending:
+                state = addresses.get(addr)
+                if state is not None:
+                    shadow[addr] = (state[0], state[2])
+        else:
+            for addr in pending:
+                state = addresses.get(addr)
+                if state is not None:
+                    reads = state[2]
+                    if not reads:
+                        flag = 0
+                    elif len(reads) == 1:
+                        flag = next(iter(reads)) + 1
+                    else:
+                        flag = -1
+                    shadow[addr] = (flag, state[0])

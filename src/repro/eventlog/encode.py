@@ -37,6 +37,7 @@ __all__ = [
     "encode_log",
     "decode_log",
     "encoded_size",
+    "read_log_header",
     "MEMORY_EVENT_BYTES",
     "SYNC_EVENT_BYTES",
 ]
@@ -117,6 +118,21 @@ def encode_log(log: EventLog, *, version: int = 1,
                                _encode_pc(event.pc))
                 )
     return b"".join(parts)
+
+
+def read_log_header(data: bytes):
+    """Parse a log file header without touching the body.
+
+    Returns ``(version, section_count, body_offset)`` — for v2 logs
+    ``section_count`` is the number of segment frames starting at
+    ``body_offset``, which lets columnar consumers walk the frames
+    directly instead of materializing event objects via
+    :func:`decode_log`.
+    """
+    magic, version, section_count = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise ValueError("not a LiteRace log (bad magic)")
+    return version, section_count, _HEADER.size
 
 
 def decode_log(data: bytes) -> EventLog:

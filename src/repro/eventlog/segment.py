@@ -34,6 +34,7 @@ frames; :func:`repro.eventlog.encode.decode_log` reads both versions.
 
 from __future__ import annotations
 
+import re
 import struct
 import zlib
 from typing import List, Sequence, Tuple
@@ -48,15 +49,23 @@ from .encode import (
     _encode_pc,
 )
 from .log import EventLog
+from ..numpy_support import HAVE_NUMPY, np
 
 __all__ = [
     "SEGMENT_MAGIC",
     "SEGMENT_VERSION",
     "FLAG_ZLIB",
+    "DEFAULT_BATCH_EVENTS",
     "SegmentColumns",
+    "NumpySegmentColumns",
+    "ColumnBatcher",
+    "SegmentBatcher",
+    "concat_columns",
     "encode_segment",
     "decode_segment",
     "decode_segment_columns",
+    "decode_segment_columns_numpy",
+    "decode_segment_columns_fast",
     "columns_from_events",
     "segment_event_count",
     "split_log",
@@ -233,6 +242,11 @@ def decode_segment_columns(data: bytes,
     payload = bytes(data[start:start + payload_len])
     if flags & FLAG_ZLIB:
         payload = zlib.decompress(payload)
+    return _decode_payload_list(payload, count), start + payload_len
+
+
+def _decode_payload_list(payload: bytes, count: int) -> SegmentColumns:
+    """One validating pass over a raw payload of ``count`` records."""
     cols = SegmentColumns()
     ops = cols.ops
     tids = cols.tids
@@ -277,7 +291,7 @@ def decode_segment_columns(data: bytes,
     cols.count = count
     cols.sync_count = syncs
     cols.memory_count = count - syncs
-    return cols, start + payload_len
+    return cols
 
 
 def decode_segment(data: bytes, offset: int = 0) -> Tuple[List[Event], int]:
@@ -290,6 +304,428 @@ def decode_segment(data: bytes, offset: int = 0) -> Tuple[List[Event], int]:
     """
     cols, end = decode_segment_columns(data, offset)
     return cols.to_events(), end
+
+
+# -- numpy-backed columns ----------------------------------------------------
+
+class NumpySegmentColumns(SegmentColumns):
+    """:class:`SegmentColumns` whose parallel columns are int64 ndarrays.
+
+    Shape-compatible with the list-backed base (same slots, same counts),
+    so any consumer that only reads counts or iterates works unchanged; the
+    vectorized pre-filter kernel (:mod:`repro.detector.vectorized`) wants
+    exactly these arrays.  ``as_list_columns`` converts back for consumers
+    that index with Python-int semantics (the pure slow loop keys dicts
+    with column values, and ``np.int64`` keys would hash-equal but compare
+    slower).
+    """
+
+    __slots__ = ()
+
+    def as_list_columns(self) -> SegmentColumns:
+        cols = SegmentColumns()
+        cols.count = self.count
+        cols.ops = self.ops.tolist()
+        cols.tids = self.tids.tolist()
+        cols.addrs = self.addrs.tolist()
+        cols.pcs = self.pcs.tolist()
+        cols.sync_domains = (self.sync_domains.tolist()
+                             if not isinstance(self.sync_domains, list)
+                             else self.sync_domains)
+        cols.sync_timestamps = (self.sync_timestamps.tolist()
+                                if not isinstance(self.sync_timestamps, list)
+                                else self.sync_timestamps)
+        cols.memory_count = self.memory_count
+        cols.sync_count = self.sync_count
+        return cols
+
+    def to_events(self) -> List[Event]:
+        return self.as_list_columns().to_events()
+
+
+if HAVE_NUMPY:
+    # Wire records are packed (no padding), so structured dtypes with
+    # explicit offsets read them zero-copy straight out of the payload.
+    _MEM_DTYPE = np.dtype({
+        "names": ["kind", "tid", "addr", "pc"],
+        "formats": ["u1", "<u4", "<u4", "<u4"],
+        "offsets": [0, 1, 5, 9], "itemsize": _MEMORY2.size})
+    _SYNC_DTYPE = np.dtype({
+        "names": ["kind", "domain", "tid", "ident", "ts", "pc"],
+        "formats": ["u1", "u1", "<u4", "<u4", "<u4", "<u4"],
+        "offsets": [0, 1, 2, 6, 10, 14], "itemsize": _SYNC2.size})
+    _DOMAIN_OK = np.zeros(256, dtype=bool)
+    _DOMAIN_OK[list(_CODE_DOMAINS)] = True
+    _MEM_ROW = np.arange(_MEMORY2.size, dtype=np.int64)
+    _SYNC_ROW = np.arange(_SYNC2.size, dtype=np.int64)
+    # One alternation per record shape, each greedily repeated: every match
+    # is a maximal run of same-shape records, so the tokenizer does the
+    # boundary hunt in C no matter how the shapes interleave.  A kind byte
+    # outside both classes simply stops the match — caught as corruption.
+    _RUN_RE = re.compile(
+        (rb"(?s)(?:[\x00\x01].{%d})+|(?:[%s-%s].{%d})+"
+         % (_MEMORY2.size - 1, re.escape(bytes([2])),
+            re.escape(bytes([_MAX_KIND_CODE])), _SYNC2.size - 1)))
+
+
+def _np_check_sync(recs):
+    kinds = recs["kind"]
+    if (kinds > _MAX_KIND_CODE).any():
+        bad = int(kinds[kinds > _MAX_KIND_CODE][0])
+        raise ValueError(f"bad sync kind code {bad}")
+    domains = recs["domain"]
+    if not _DOMAIN_OK[domains].all():
+        bad = int(domains[~_DOMAIN_OK[domains]][0])
+        raise ValueError(f"bad sync-var domain code {bad}")
+
+
+def decode_segment_columns_numpy(
+        data: bytes, offset: int = 0) -> Tuple[NumpySegmentColumns, int]:
+    """Parse one segment frame into numpy-backed columns.
+
+    Same validation contract as :func:`decode_segment_columns` (corrupt
+    payloads raise ``ValueError``), same column values, but the columns
+    come back as int64 ndarrays built from ``np.frombuffer`` views over
+    the payload instead of a per-event Python loop.
+
+    Record sizes differ (memory 13B, sync 18B), so the record boundaries
+    are data-dependent; two strategies cover the density spectrum:
+
+    * no sync events — one ``frombuffer`` over the whole payload;
+    * mixed — a compiled regex tokenizes the payload into maximal
+      homogeneous *runs* (both record shapes are fixed-width, so one
+      alternation matches a whole run at C speed), per-record offsets
+      come from a ragged-range cumsum over the run table, and two
+      fancy-indexed gathers decode both record types at once.
+    """
+    count = segment_event_count(data, offset)
+    _, _, flags, _, payload_len = _SEG_HEADER.unpack_from(data, offset)
+    start = offset + _SEG_HEADER.size
+    payload = bytes(data[start:start + payload_len])
+    end = start + payload_len
+    if flags & FLAG_ZLIB:
+        payload = zlib.decompress(payload)
+    plen = len(payload)
+    msize = _MEMORY2.size
+    ssize = _SYNC2.size
+    # count = m + s and plen = 13m + 18s pin the sync count up front; any
+    # inconsistency is a corrupt frame.
+    extra = plen - msize * count
+    if extra < 0 or extra % (ssize - msize):
+        raise ValueError("truncated event in segment payload")
+    syncs = extra // (ssize - msize)
+    if syncs > count:
+        raise ValueError("trailing bytes in segment payload")
+    if syncs * 8 > count:
+        # Sync-dense frames fragment into tiny runs where every vectorized
+        # strategy drowns in per-run overhead; the list decoder's single
+        # Python pass is the better tool, and the detector kernel declines
+        # sync-dominated batches anyway.
+        return decode_segment_columns(data, offset)
+    return _np_decode_payload(payload, count, syncs), end
+
+
+def _np_decode_payload(payload, count, syncs):
+    """Decode one well-sized payload (sizes pre-validated) into columns.
+
+    The payload need not come from a single frame: frame payloads are
+    plain record streams, so concatenating several and decoding once is
+    equivalent to decoding each — that is how :class:`SegmentBatcher`
+    amortizes the fixed numpy call overhead across a whole batch.
+    """
+    msize = _MEMORY2.size
+    cols = NumpySegmentColumns()
+    cols.count = count
+    cols.sync_count = syncs
+    cols.memory_count = count - syncs
+    if count == 0:
+        cols.ops = np.empty(0, np.int64)
+        cols.tids = np.empty(0, np.int64)
+        cols.addrs = np.empty(0, np.int64)
+        cols.pcs = np.empty(0, np.int64)
+        cols.sync_domains = np.empty(0, np.int64)
+        cols.sync_timestamps = np.empty(0, np.int64)
+        return cols
+
+    u8 = np.frombuffer(payload, np.uint8)
+    if syncs == 0:
+        kinds = u8[::msize]
+        if (kinds < 2).all():
+            recs = np.frombuffer(payload, _MEM_DTYPE, count=count)
+            cols.ops = kinds.astype(np.int64)
+            cols.tids = recs["tid"].astype(np.int64)
+            cols.addrs = recs["addr"].astype(np.int64)
+            pcs = recs["pc"].astype(np.int64)
+            pcs[pcs == _PC_NONE] = -1
+            cols.pcs = pcs
+            cols.sync_domains = np.empty(0, np.int64)
+            cols.sync_timestamps = np.empty(0, np.int64)
+            return cols
+        # Sizes said all-memory but a kind byte disagrees: corrupt frame.
+        raise ValueError("truncated event in segment payload")
+
+    cols.ops = np.empty(count, np.int64)
+    cols.tids = np.empty(count, np.int64)
+    cols.addrs = np.empty(count, np.int64)
+    cols.pcs = np.empty(count, np.int64)
+    cols.sync_domains = np.empty(syncs, np.int64)
+    cols.sync_timestamps = np.empty(syncs, np.int64)
+
+    _np_decode_from_runs(cols, u8, _collect_runs(payload), count, syncs)
+    pcs = cols.pcs
+    pcs[pcs == _PC_NONE] = -1
+    return cols
+
+
+def _collect_runs(payload):
+    """Run table (is_mem list, record-count list) via C-speed tokenization."""
+    msize = _MEMORY2.size
+    ssize = _SYNC2.size
+    kinds: List[bool] = []
+    counts: List[int] = []
+    pos = 0
+    for match in _RUN_RE.finditer(payload):
+        begin, end = match.span()
+        if begin != pos:
+            break  # an unparseable byte stopped the tokenizer at ``pos``
+        if payload[begin] < 2:
+            kinds.append(True)
+            counts.append((end - begin) // msize)
+        else:
+            kinds.append(False)
+            counts.append((end - begin) // ssize)
+        pos = end
+    if pos != len(payload):
+        raise ValueError("truncated event in segment payload")
+    return kinds, counts
+
+
+def _np_decode_from_runs(cols, u8, runs, count, syncs):
+    """Vectorized decode given the run table.
+
+    Expanding the run table to a byte-level type mask (one ``np.repeat``)
+    compacts each record shape into its own contiguous buffer, where a
+    structured view plus per-field contiguous casts replace the slow
+    scattered-record gathers — O(payload) array ops however fragmented
+    the interleaving is.
+    """
+    run_is_mem = np.array(runs[0], bool)
+    run_nrec = np.array(runs[1], np.int64)
+    total_m = int(run_nrec[run_is_mem].sum())
+    total_s = int(run_nrec.sum()) - total_m
+    # 13m + 18s = payload length holds for other (m, s) splits too, so a
+    # clean tokenization can still contradict the declared sync count.
+    if total_s != syncs or total_m + total_s != count:
+        raise ValueError("truncated event in segment payload")
+    byte_len = run_nrec * np.where(run_is_mem, _MEMORY2.size, _SYNC2.size)
+    mem_byte = np.repeat(run_is_mem, byte_len)
+    rec_is_mem = np.repeat(run_is_mem, run_nrec)
+    mpos = np.flatnonzero(rec_is_mem)
+    spos = np.flatnonzero(~rec_is_mem)
+    if total_m:
+        mrecs = u8[mem_byte].view(_MEM_DTYPE)
+        cols.ops[mpos] = mrecs["kind"]
+        cols.tids[mpos] = mrecs["tid"].astype(np.int64)
+        cols.addrs[mpos] = mrecs["addr"].astype(np.int64)
+        cols.pcs[mpos] = mrecs["pc"].astype(np.int64)
+    if total_s:
+        srecs = u8[~mem_byte].view(_SYNC_DTYPE)
+        _np_check_sync(srecs)
+        cols.ops[spos] = srecs["kind"]
+        cols.tids[spos] = srecs["tid"].astype(np.int64)
+        cols.addrs[spos] = srecs["ident"].astype(np.int64)
+        cols.pcs[spos] = srecs["pc"].astype(np.int64)
+        # Sync columns are packed densely in stream order, which the byte
+        # mask preserves — so no reordering is needed.
+        cols.sync_domains[:] = srecs["domain"]
+        cols.sync_timestamps[:] = srecs["ts"]
+
+
+if HAVE_NUMPY:
+    decode_segment_columns_fast = decode_segment_columns_numpy
+else:
+    decode_segment_columns_fast = decode_segment_columns
+decode_segment_columns_fast.__doc__ = (
+    """The fastest available columnar decode for this interpreter.
+
+    ``decode_segment_columns_numpy`` when numpy is importable (and not
+    disabled via ``REPRO_NO_NUMPY=1``), else ``decode_segment_columns``.
+    """)
+
+
+# -- batching across segment boundaries --------------------------------------
+
+#: Batch size the vectorized kernel is sized for: large enough to amortize
+#: numpy call overhead (fixed ~40us of sort/scan per batch), small enough
+#: that a pipeline's buffered tail stays negligible.
+DEFAULT_BATCH_EVENTS = 4096
+
+
+def concat_columns(parts: Sequence[SegmentColumns]) -> SegmentColumns:
+    """Concatenate decoded segments into one columns batch (stream order).
+
+    Safe wherever segments from one stream are fed in order: the detector
+    is batch-boundary invariant (asserted by the differential suite), so
+    regrouping segments cannot change any report.
+    """
+    if len(parts) == 1:
+        return parts[0]
+    if HAVE_NUMPY and all(isinstance(p, NumpySegmentColumns) for p in parts):
+        out = NumpySegmentColumns()
+        out.ops = np.concatenate([p.ops for p in parts])
+        out.tids = np.concatenate([p.tids for p in parts])
+        out.addrs = np.concatenate([p.addrs for p in parts])
+        out.pcs = np.concatenate([p.pcs for p in parts])
+        out.sync_domains = np.concatenate([p.sync_domains for p in parts])
+        out.sync_timestamps = np.concatenate(
+            [p.sync_timestamps for p in parts])
+    else:
+        out = SegmentColumns()
+        for part in parts:
+            if isinstance(part, NumpySegmentColumns):
+                part = part.as_list_columns()
+            out.ops += part.ops
+            out.tids += part.tids
+            out.addrs += part.addrs
+            out.pcs += part.pcs
+            out.sync_domains += part.sync_domains
+            out.sync_timestamps += part.sync_timestamps
+    out.count = sum(p.count for p in parts)
+    out.sync_count = sum(p.sync_count for p in parts)
+    out.memory_count = out.count - out.sync_count
+    return out
+
+
+class ColumnBatcher:
+    """Accumulate decoded segments and release them in larger batches.
+
+    Wire segments are sized for streaming latency (512 events), but the
+    vectorized kernel earns its keep on batches about an order of magnitude
+    larger.  A batcher sits between decode and ``feed_batch``, coalescing
+    consecutive segments of one stream; batch-boundary invariance makes the
+    regrouping observationally free.  Callers must ``flush()`` (or use the
+    context manager) before reading the sink's report.
+    """
+
+    def __init__(self, sink, *, target_events: int = DEFAULT_BATCH_EVENTS):
+        if target_events < 1:
+            raise ValueError("target_events must be >= 1")
+        self._sink = sink
+        self._parts: List[SegmentColumns] = []
+        self._pending = 0
+        self.target_events = target_events
+
+    def push(self, cols: SegmentColumns) -> None:
+        self._parts.append(cols)
+        self._pending += cols.count
+        if self._pending >= self.target_events:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._parts:
+            batch = concat_columns(self._parts)
+            self._parts.clear()
+            self._pending = 0
+            self._sink(batch)
+
+    def __enter__(self) -> "ColumnBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.flush()
+
+
+class SegmentBatcher:
+    """Batch *encoded* frames and decode each batch in one vectorized pass.
+
+    :class:`ColumnBatcher` coalesces already-decoded columns, which still
+    pays the per-frame decode overhead (~50 numpy calls per frame at wire
+    sizes).  This batcher works one level lower: each ``push`` only parses
+    the 16-byte header (and inflates a compressed payload), and ``flush``
+    joins the buffered payloads — frame payloads are plain record streams,
+    so the concatenation is itself a valid payload — and decodes the whole
+    batch with one set of array operations before handing the columns to
+    the sink.  Decode errors therefore surface at flush time, attributed
+    to the batch rather than the frame.
+
+    Falls back per-frame to the list decoder when numpy is unavailable or
+    the joined batch is sync-dense (where the vectorized decode would lose
+    to the plain Python pass anyway).
+    """
+
+    def __init__(self, sink, *, target_events: int = DEFAULT_BATCH_EVENTS):
+        if target_events < 1:
+            raise ValueError("target_events must be >= 1")
+        self._sink = sink
+        self._frames: List[Tuple[bytes, int]] = []
+        self._count = 0
+        self._syncs = 0
+        self.target_events = target_events
+
+    def push(self, data: bytes, offset: int = 0) -> Tuple[int, int]:
+        """Buffer one encoded frame at ``offset``.
+
+        Returns ``(event_count, end)`` where ``end`` is the offset of the
+        first byte after the frame, so callers can walk a concatenated
+        frame stream without re-parsing headers.
+        """
+        count = segment_event_count(data, offset)
+        _, _, flags, _, payload_len = _SEG_HEADER.unpack_from(data, offset)
+        start = offset + _SEG_HEADER.size
+        payload = bytes(data[start:start + payload_len])
+        if len(payload) != payload_len:
+            raise ValueError("truncated segment payload")
+        if flags & FLAG_ZLIB:
+            payload = zlib.decompress(payload)
+        extra = len(payload) - _MEMORY2.size * count
+        if extra < 0 or extra % (_SYNC2.size - _MEMORY2.size):
+            raise ValueError("truncated event in segment payload")
+        syncs = extra // (_SYNC2.size - _MEMORY2.size)
+        if syncs > count:
+            raise ValueError("trailing bytes in segment payload")
+        self._frames.append((payload, count))
+        self._count += count
+        self._syncs += syncs
+        if self._count >= self.target_events:
+            self.flush()
+        return count, start + payload_len
+
+    def flush(self) -> None:
+        if not self._frames:
+            return
+        frames = self._frames
+        count = self._count
+        syncs = self._syncs
+        self._frames = []
+        self._count = 0
+        self._syncs = 0
+        joined = (frames[0][0] if len(frames) == 1
+                  else b"".join(payload for payload, _ in frames))
+        try:
+            if HAVE_NUMPY and syncs * 8 <= count:
+                batch = _np_decode_payload(joined, count, syncs)
+            else:
+                batch = _decode_payload_list(joined, count)
+        except ValueError:
+            # A poisoned frame (bad kind/domain code past the size checks).
+            # Salvage the batch frame by frame so exactly the bad frames
+            # are skipped, then let the error surface to the caller.
+            good = []
+            for payload, frame_count in frames:
+                try:
+                    good.append(_decode_payload_list(payload, frame_count))
+                except ValueError:
+                    continue
+            if good:
+                self._sink(concat_columns(good))
+            raise
+        self._sink(batch)
+
+    def __enter__(self) -> "SegmentBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.flush()
 
 
 def split_log(log: EventLog, *, segment_events: int = 512,

@@ -1,0 +1,34 @@
+"""Optional numpy: one import-time decision for every vectorized path.
+
+numpy is an *optional* accelerator (``pip install .[fast]``) — nothing in
+the detector pipeline requires it, and every consumer must keep working on
+the pure-Python path.  This module makes the selection exactly once, at
+import:
+
+* ``np`` is the numpy module, or ``None`` when numpy is not installed;
+* setting ``REPRO_NO_NUMPY=1`` in the environment forces ``np = None``
+  even when numpy is installed — the escape hatch for benchmarking the
+  fallback path (``make bench-smoke`` runs both) and for sidestepping a
+  broken numpy build without uninstalling it;
+* ``HAVE_NUMPY`` is the boolean every call site gates on.
+
+Consumers import ``np`` from here instead of importing numpy themselves so
+the override cannot be half-applied (one module vectorized, another not):
+the kernel selection is global and consistent by construction.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["np", "HAVE_NUMPY"]
+
+if os.environ.get("REPRO_NO_NUMPY") == "1":
+    np = None
+else:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised via REPRO_NO_NUMPY
+        np = None
+
+HAVE_NUMPY = np is not None

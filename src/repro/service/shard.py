@@ -28,8 +28,8 @@ from typing import Dict, Iterable, Tuple
 from ..detector.flat import FlatDetector
 from ..detector.races import RaceReport
 from ..eventlog.events import Event
-from ..eventlog.segment import (SegmentColumns, columns_from_events,
-                                decode_segment_columns)
+from ..eventlog.segment import (DEFAULT_BATCH_EVENTS, SegmentBatcher,
+                                SegmentColumns, columns_from_events)
 from .protocol import report_to_wire
 
 __all__ = ["SHARD_BLOCK_SHIFT", "shard_of", "ShardDetector", "worker_main"]
@@ -53,12 +53,15 @@ class ShardDetector:
     """
 
     def __init__(self, shard_id: int, num_shards: int,
-                 alloc_as_sync: bool = True):
+                 alloc_as_sync: bool = True,
+                 batch_events: int = DEFAULT_BATCH_EVENTS):
         if not 0 <= shard_id < num_shards:
             raise ValueError(f"shard {shard_id} outside 0..{num_shards - 1}")
         self.shard_id = shard_id
         self.num_shards = num_shards
         self._detector = FlatDetector("hb", alloc_as_sync=alloc_as_sync)
+        self._batcher = SegmentBatcher(self._consume,
+                                       target_events=batch_events)
         self.sync_events = 0
         self.memory_events = 0
         self.segments = 0
@@ -70,21 +73,43 @@ class ShardDetector:
         self.memory_events += memory
         self.sync_events += sync
 
+    def feed_frame(self, data: bytes, offset: int = 0) -> int:
+        """Buffer one *encoded* segment frame (the worker hot path).
+
+        Frames accumulate until ``batch_events`` events are pending, then
+        decode in one vectorized pass straight into the detector.  Decode
+        errors from a poisoned payload surface here or at :meth:`flush` —
+        the batcher discards the poisoned batch, so the detector keeps
+        running on whatever decodes cleanly.  Returns the frame's declared
+        event count (validated against the payload size).
+        """
+        count, _ = self._batcher.push(data, offset)
+        self.segments += 1
+        return count
+
+    def flush(self) -> None:
+        """Drain any frames still buffered by :meth:`feed_frame`."""
+        self._batcher.flush()
+
     def feed_columns(self, cols: SegmentColumns) -> None:
-        """Consume one decoded segment's columns (the worker hot path)."""
+        """Consume one decoded segment's columns immediately."""
+        self._batcher.flush()
         self._consume(cols)
         self.segments += 1
 
     def feed(self, event: Event) -> None:
         """Per-event compatibility shim over the batched path."""
+        self._batcher.flush()
         self._consume(columns_from_events((event,)))
 
     def feed_segment(self, events: Iterable[Event]) -> None:
+        self._batcher.flush()
         self._consume(columns_from_events(list(events)))
         self.segments += 1
 
     @property
     def report(self) -> RaceReport:
+        self._batcher.flush()
         return self._detector.report
 
 
@@ -127,19 +152,28 @@ def worker_main(worker_id: int, in_queue, out_queue, num_shards: int,
             break
         if verb == "segment":
             _, client_id, seq, shard_ids, payload = message
-            try:
-                cols, _ = decode_segment_columns(payload)
-            except Exception as exc:
-                # Catch everything: the server only validates the outer
-                # frame header, so a corrupt payload can surface as
-                # struct.error, zlib.error, ValueError, KeyError, ...
-                out_queue.put(("error", worker_id, client_id, seq,
-                               f"bad segment: {exc}"))
-                continue
+            count = 0
+            error = None
             for shard_id in shard_ids:
-                detector_for(client_id, shard_id).feed_columns(cols)
+                # Per-shard isolation: a decode error raised while one
+                # shard's batcher flushes must not keep the frame from the
+                # remaining shards, or the shards' sync streams diverge.
+                try:
+                    count = detector_for(client_id,
+                                         shard_id).feed_frame(payload)
+                except Exception as exc:
+                    # Catch everything: the server only validates the
+                    # outer frame header, so a corrupt payload can surface
+                    # as struct.error, zlib.error, ValueError, KeyError...
+                    # The batcher salvages around the poisoned frame, so
+                    # later segments still analyze cleanly.
+                    error = exc
+            if error is not None:
+                out_queue.put(("error", worker_id, client_id, seq,
+                               f"bad segment: {error}"))
+                continue
             out_queue.put(("ack", worker_id, client_id, seq,
-                           tuple(shard_ids), cols.count))
+                           tuple(shard_ids), count))
         elif verb == "finalize":
             _, client_id, shard_ids = message
             for shard_id in shard_ids:
@@ -150,6 +184,13 @@ def worker_main(worker_id: int, in_queue, out_queue, num_shards: int,
                     # aggregator's completion count still adds up.
                     state = ShardDetector(shard_id, num_shards,
                                           alloc_as_sync=alloc_as_sync)
+                try:
+                    state.flush()
+                except Exception as exc:
+                    # A poisoned payload buffered since the last flush:
+                    # report it, then publish what decoded cleanly.
+                    out_queue.put(("error", worker_id, client_id, -1,
+                                   f"bad segment: {exc}"))
                 out_queue.put(("report", worker_id, client_id, shard_id,
                                report_to_wire(state.report),
                                state.segments))

@@ -33,6 +33,10 @@ from repro.detector.flat import FlatDetector
 from repro.detector.hb import HappensBeforeDetector
 from repro.eventlog.events import MemoryEvent, SyncEvent, SyncKind
 from repro.eventlog.segment import columns_from_events
+from repro.numpy_support import HAVE_NUMPY
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy unavailable (or REPRO_NO_NUMPY=1)")
 
 #: Per-workload cap: differential equivalence on a prefix is still exact
 #: (both sides consume the same events), and it bounds tier-1 runtime.
@@ -228,3 +232,147 @@ class TestEscalationEdges:
         for alloc in (True, False):
             assert_flat_matches(events, "fasttrack", alloc_as_sync=alloc)
             assert_flat_matches(events, "hb", alloc_as_sync=alloc)
+
+
+# -- numpy kernel vs pure-Python loop ----------------------------------------
+
+def run_flat(events, algorithm, use_numpy, *, alloc_as_sync=True,
+             batch_size=None, shard=None):
+    """Feed ``events`` through a FlatDetector with an explicit kernel."""
+    detector = FlatDetector(algorithm, alloc_as_sync=alloc_as_sync,
+                            use_numpy=use_numpy)
+    if batch_size is None:
+        chunks = [events]
+    else:
+        chunks = [events[i:i + batch_size]
+                  for i in range(0, len(events), batch_size)]
+    for chunk in chunks:
+        cols = columns_from_events(chunk)
+        if shard is None:
+            detector.feed_batch(cols)
+        else:
+            shard_id, num_shards, block_shift = shard
+            detector.feed_batch(cols, shard_id=shard_id,
+                                num_shards=num_shards,
+                                block_shift=block_shift)
+    return detector
+
+
+def assert_kernels_agree(events, algorithm, *, alloc_as_sync=True,
+                         batch_size=None, shard=None):
+    """numpy kernel and pure loop: byte-identical reports AND counters."""
+    numpy_side = run_flat(events, algorithm, True,
+                          alloc_as_sync=alloc_as_sync,
+                          batch_size=batch_size, shard=shard)
+    pure_side = run_flat(events, algorithm, False,
+                         alloc_as_sync=alloc_as_sync,
+                         batch_size=batch_size, shard=shard)
+    assert numpy_side.kernel == "numpy"
+    assert pure_side.kernel == "pure"
+    assert report_key(numpy_side) == report_key(pure_side)
+    assert numpy_side.events_processed == pure_side.events_processed
+    assert numpy_side.fast_path_hits == pure_side.fast_path_hits
+    assert numpy_side.escalations == pure_side.escalations
+    return numpy_side, pure_side
+
+
+@needs_numpy
+class TestKernelEquivalence:
+    """The tentpole contract: the vectorized pre-filter is invisible."""
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("algorithm", ["fasttrack", "hb"])
+    def test_workloads_byte_identical(self, workload_logs, name, algorithm):
+        events = workload_logs[name][:20_000]
+        assert_kernels_agree(events, algorithm, batch_size=4096)
+
+    @settings(max_examples=30, deadline=None)
+    @given(events=event_streams(), alloc=st.booleans(),
+           batch=st.sampled_from([None, 7, 50, 300]))
+    def test_randomized_streams(self, events, alloc, batch):
+        for algorithm in ("fasttrack", "hb"):
+            assert_kernels_agree(events, algorithm, alloc_as_sync=alloc,
+                                 batch_size=batch)
+
+    @settings(max_examples=20, deadline=None)
+    @given(events=event_streams(max_events=200),
+           num_shards=st.sampled_from([1, 2, 4]))
+    def test_shard_filter_equivalence(self, events, num_shards):
+        # Per shard, both kernels agree; across shards, the union of the
+        # reports equals the unsharded report's racy-address set.
+        whole, _ = assert_kernels_agree(events, "hb")
+        union = set()
+        for shard_id in range(num_shards):
+            np_side, _ = assert_kernels_agree(
+                events, "hb", shard=(shard_id, num_shards, 2))
+            union |= set(np_side.report.addresses)
+        assert union == set(whole.report.addresses)
+
+    def test_kernel_swallows_private_runs(self):
+        # A sanity check that the kernel actually engages: after the first
+        # batch assigns thread slots, long thread-private runs must be
+        # absorbed before the slow loop.
+        events = [mem(0, 0x100, 1, True) for _ in range(512)] \
+            + [mem(1, 0x200, 2, False) for _ in range(512)]
+        numpy_side, _ = assert_kernels_agree(events * 2, "fasttrack",
+                                             batch_size=1024)
+        kernel = numpy_side._kernel
+        assert kernel.swallowed_events > 900
+
+    def test_epoch_collision_at_segment_edges(self):
+        # Release ticks between batches: thread 0's clock advances at a
+        # batch boundary, so the same-slot epoch seen by the next batch's
+        # pre-filter differs from the shadow by exactly one tick.  Any
+        # off-by-one in the release-interval bookkeeping shows up here.
+        events = []
+        for round_no in range(6):
+            events.extend(mem(0, 0x10, 1, True) for _ in range(5))
+            events.append(sync(0, SyncKind.UNLOCK, 1, 2 * round_no + 1))
+            events.extend(mem(0, 0x10, 2, False) for _ in range(5))
+            events.append(sync(1, SyncKind.LOCK, 1, 2 * round_no + 2))
+        for batch in (5, 6, 11, None):
+            assert_kernels_agree(events, "fasttrack", batch_size=batch)
+            assert_kernels_agree(events, "hb", batch_size=batch)
+
+    def test_shard_mask_block_boundaries(self):
+        # Addresses straddling block edges: with block_shift=6, addresses
+        # 63 and 64 are different blocks; an off-by-one in the vectorized
+        # (addr >> shift) % num_shards mask silently drops or duplicates
+        # the boundary access.
+        edge_addrs = [0, 1, 63, 64, 65, 127, 128, 191, 192, 255]
+        events = []
+        for i, addr in enumerate(edge_addrs * 8):
+            events.append(mem(i % 3, addr, addr & 0x3F, i % 2 == 0))
+        for num_shards in (2, 3, 4):
+            per_shard_counts = []
+            for shard_id in range(num_shards):
+                np_side, _ = assert_kernels_agree(
+                    events, "hb", shard=(shard_id, num_shards, 6))
+                per_shard_counts.append(np_side.events_processed)
+            # Every memory event lands on exactly one shard.
+            assert sum(per_shard_counts) == len(events)
+
+    def test_mixed_kernel_and_fallback_sequences(self):
+        # Alternating sharded and unsharded feeds on one detector forces
+        # the kernel's shadow-dirty fallback path between batches.
+        events = [mem(t, a, a + 1, w) for t in (0, 1)
+                  for a in (0x10, 0x40, 0x80) for w in (True, False)] * 10
+        numpy_side = FlatDetector("hb", use_numpy=True)
+        pure_side = FlatDetector("hb", use_numpy=False)
+        for start in range(0, len(events), 17):
+            cols = columns_from_events(events[start:start + 17])
+            if (start // 17) % 2:
+                numpy_side.feed_batch(cols, shard_id=0, num_shards=1,
+                                      block_shift=6)
+                pure_side.feed_batch(cols, shard_id=0, num_shards=1,
+                                     block_shift=6)
+            else:
+                numpy_side.feed_batch(cols)
+                pure_side.feed_batch(cols)
+        assert report_key(numpy_side) == report_key(pure_side)
+        assert numpy_side.events_processed == pure_side.events_processed
+
+    def test_use_numpy_flag_validation(self):
+        assert FlatDetector("hb", use_numpy=True).kernel == "numpy"
+        assert FlatDetector("hb", use_numpy=False).kernel == "pure"
+        assert FlatDetector("hb").kernel == "numpy"
