@@ -12,12 +12,15 @@
 # (numpy and the REPRO_NO_NUMPY=1 pure fallback) and validates the
 # BENCH_detector.json schema-2 trajectory, wired into tier-1 via
 # tests/test_bench_smoke.py (append a new committed entry with
-# `python -m repro bench --out BENCH_detector.json`).
+# `python -m repro bench --out BENCH_detector.json`); scenarios-smoke
+# builds every declarative scenario from its spec, checks planted ground
+# truth end to end, and replays a 1000-request loadgen burst against a
+# live `repro serve`, wired into tier-1 via tests/test_scenarios_smoke.py.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke serve-smoke validate-smoke bench-smoke staticpass bench artifacts clean-cache
+.PHONY: test smoke serve-smoke validate-smoke bench-smoke scenarios-smoke staticpass bench artifacts clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +39,9 @@ validate-smoke:
 bench-smoke:
 	$(PYTHON) -m pytest tests/test_bench_smoke.py -q
 	REPRO_NO_NUMPY=1 $(PYTHON) -m pytest tests/test_bench_smoke.py -q
+
+scenarios-smoke:
+	$(PYTHON) -m pytest tests/test_scenarios_smoke.py -q
 
 staticpass:
 	$(PYTHON) -m repro staticpass --all --check --scale 0.2

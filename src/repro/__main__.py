@@ -44,6 +44,153 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _cmd_workloads(args) -> int:
+    """Enumerate the registry with eval membership and planted-race
+    counts (``repro workloads list [--json]``)."""
+    import json
+
+    if args.action != "list":
+        print("workloads: unknown action; try `repro workloads list`",
+              file=sys.stderr)
+        return 2
+    rows = []
+    for name in workloads.names():
+        spec = workloads.get(name)
+        program = spec.build(seed=1, scale=0.05)
+        planted = program.planted_races or ()
+        rows.append({
+            "name": name,
+            "title": spec.title,
+            "tags": list(spec.tags),
+            "race_eval": spec.in_race_eval,
+            "overhead_eval": spec.in_overhead_eval,
+            "planted_races": len(planted),
+            "planted_keys": sum(len(p.keys) for p in planted),
+        })
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    table_rows = []
+    for row in rows:
+        studies = [label for label, member in
+                   (("race-eval", row["race_eval"]),
+                    ("overhead-eval", row["overhead_eval"])) if member]
+        table_rows.append([
+            row["name"], ", ".join(row["tags"]) or "-",
+            ", ".join(studies) or "-",
+            f"{row['planted_races']} ({row['planted_keys']} keys)",
+        ])
+    print(format_table(["name", "tags", "studies", "planted races"],
+                       table_rows, title="Workload registry"))
+    return 0
+
+
+def _coerce_override(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _scenario_overrides(pairs):
+    """Turn ``pools.readers.threads=12`` pairs into a nested override dict."""
+    overrides = {}
+    for pair in pairs or ():
+        path, sep, value = pair.partition("=")
+        if not sep:
+            raise ValueError(f"--set needs key=value, got {pair!r}")
+        node = overrides
+        keys = path.split(".")
+        for key in keys[:-1]:
+            node = node.setdefault(key, {})
+        node[keys[-1]] = _coerce_override(value)
+    return overrides
+
+
+def _cmd_scenario(args) -> int:
+    """Inspect, parameterize, and check declarative scenarios."""
+    import json
+
+    from . import scenarios
+    from .core.literace import LiteRace as _LiteRace
+
+    names = scenarios.scenario_names() if args.all else [args.name]
+    if not args.all and args.name is None:
+        print("scenario: name a scenario or pass --all; known: "
+              + ", ".join(scenarios.scenario_names()), file=sys.stderr)
+        return 2
+
+    failures = 0
+    for name in names:
+        spec = scenarios.scenario(name)
+        if args.set:
+            spec = spec.derive(_scenario_overrides(args.set))
+        scale = args.scale
+        if args.requests:
+            scale = spec.scale_for_requests(args.requests)
+        if args.json:
+            print(json.dumps(spec.to_dict(), indent=2))
+            continue
+        program = scenarios.compile_scenario(spec, seed=args.seed,
+                                             scale=scale)
+        planted = program.planted_races or ()
+        pools = ", ".join(f"{p.name}×{p.threads}" for p in spec.pools)
+        print(f"{spec.name}: {spec.title}")
+        print(f"  pools   : {pools} ({spec.total_threads} threads)")
+        print(f"  regions : "
+              + ", ".join(f"{r.name}[{r.kind}]" for r in spec.regions))
+        print(f"  races   : "
+              + ", ".join(f"{r.name}({r.rate})" for r in spec.races))
+        print(f"  compiled: scale {scale:g} -> {program.num_functions} "
+              f"functions, {len(planted)} planted sites "
+              f"({sum(len(p.keys) for p in planted)} keys)")
+        if args.check:
+            expected = {key for site in planted for key in site.keys}
+            result = _LiteRace(sampler="Full", seed=args.seed).run(program)
+            found = result.report.static_races
+            if found == expected:
+                print(f"  check   : OK — Full logging finds exactly the "
+                      f"{len(expected)} planted keys "
+                      f"({len(result.log.events):,} events)")
+            else:
+                failures += 1
+                print(f"  check   : FAIL — extra {sorted(found - expected)}, "
+                      f"missing {sorted(expected - found)}")
+    return 1 if failures else 0
+
+
+def _cmd_loadgen(args) -> int:
+    """Stream trace-driven scenario traffic into a telemetry server."""
+    from . import scenarios
+    from .scenarios.loadgen import LoadGenerator
+
+    spec = scenarios.scenario(args.scenario)
+    if args.set:
+        spec = spec.derive(_scenario_overrides(args.set))
+    generator = LoadGenerator(
+        spec, args.connect,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        template_scale=args.template_scale,
+        templates=args.templates,
+        max_template_events=args.template_events,
+        segment_events=args.segment_events,
+        compress=args.compress,
+    )
+    generator.prepare()
+    print(f"loadgen: {len(generator._templates)} template(s) of "
+          + ", ".join(str(count) for _, count in generator._templates)
+          + f" events; replaying against {args.connect} ...", flush=True)
+    stats = generator.run()
+    print(stats.summary())
+    return 0 if stats.failed == 0 and stats.completed == stats.requests else 1
+
+
 def _cmd_run(args) -> int:
     program = workloads.build(args.workload, seed=args.seed,
                               scale=args.scale)
@@ -518,6 +665,58 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="list registered workloads")
 
+    wl_p = sub.add_parser(
+        "workloads", help="registry tooling (workloads list [--json])")
+    wl_p.add_argument("action", nargs="?", default="list",
+                      help="only `list` for now")
+    wl_p.add_argument("--json", action="store_true",
+                      help="machine-readable output")
+
+    scn_p = sub.add_parser(
+        "scenario", help="inspect/parameterize/check declarative scenarios")
+    scn_p.add_argument("name", nargs="?", default=None,
+                       help="a scenario from the catalog")
+    scn_p.add_argument("--all", action="store_true",
+                       help="every catalog scenario")
+    scn_p.add_argument("--json", action="store_true",
+                       help="dump the declarative spec as JSON")
+    scn_p.add_argument("--check", action="store_true",
+                       help="compile and verify Full logging finds exactly "
+                            "the planted race keys")
+    scn_p.add_argument("--seed", type=int, default=1)
+    scn_p.add_argument("--scale", type=float, default=1.0)
+    scn_p.add_argument("--requests", type=int, default=None,
+                       help="compile at the scale serving this many "
+                            "requests (overrides --scale)")
+    scn_p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="override spec fields by dotted path, e.g. "
+                            "--set pools.readers.threads=12 (repeatable)")
+
+    lg_p = sub.add_parser(
+        "loadgen", help="replay trace-driven scenario traffic into a "
+                        "telemetry server at volume")
+    lg_p.add_argument("scenario", help="a scenario from the catalog")
+    lg_p.add_argument("--connect", required=True, metavar="ADDR",
+                      help="server address (unix:PATH or tcp:HOST:PORT)")
+    lg_p.add_argument("--requests", type=int, default=None,
+                      help="submissions to make (default: the scenario's "
+                           "nominal traffic volume)")
+    lg_p.add_argument("--concurrency", type=int, default=8,
+                      help="concurrent submitter threads (default 8)")
+    lg_p.add_argument("--seed", type=int, default=1)
+    lg_p.add_argument("--templates", type=int, default=2,
+                      help="distinct recorded runs to replay (default 2)")
+    lg_p.add_argument("--template-scale", type=float, default=0.02,
+                      help="compile scale of each template run")
+    lg_p.add_argument("--template-events", type=int, default=400,
+                      help="cap events per template (0 = full run)")
+    lg_p.add_argument("--segment-events", type=int, default=256,
+                      help="events per wire segment (default 256)")
+    lg_p.add_argument("--compress", action="store_true",
+                      help="zlib-compress segment payloads")
+    lg_p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                      help="spec overrides by dotted path (see scenario)")
+
     run_p = sub.add_parser("run", help="profile one workload and report races")
     run_p.add_argument("workload")
     run_p.add_argument("--sampler", default="TL-Ad",
@@ -675,7 +874,9 @@ def main(argv=None) -> int:
                "analyze": _cmd_analyze, "compare": _cmd_compare,
                "staticpass": _cmd_staticpass, "serve": _cmd_serve,
                "submit": _cmd_submit, "status": _cmd_status,
-               "validate": _cmd_validate, "bench": _cmd_bench}
+               "validate": _cmd_validate, "bench": _cmd_bench,
+               "workloads": _cmd_workloads, "scenario": _cmd_scenario,
+               "loadgen": _cmd_loadgen}
     return handler[args.command](args)
 
 

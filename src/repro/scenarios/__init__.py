@@ -1,0 +1,38 @@
+"""Declarative service-shaped workloads (the scenario subsystem).
+
+A scenario is data: thread pools, shared regions, lock disciplines and
+planted-race placement in a :class:`ScenarioSpec`, compiled into a TIR
+program by :func:`compile_scenario` and registered as an ordinary
+workload.  See docs/scenarios.md for the spec format and
+:mod:`repro.scenarios.catalog` for the four shipped scenarios.
+"""
+
+from .spec import (
+    LockSpec,
+    PoolSpec,
+    RaceSpec,
+    RegionSpec,
+    ScenarioError,
+    ScenarioSpec,
+    StepSpec,
+    TrafficSpec,
+)
+from .compile import compile_scenario, designated_racers
+from .catalog import CATALOG, register_catalog, scenario, scenario_names
+
+__all__ = [
+    "ScenarioError",
+    "RegionSpec",
+    "LockSpec",
+    "StepSpec",
+    "PoolSpec",
+    "RaceSpec",
+    "TrafficSpec",
+    "ScenarioSpec",
+    "compile_scenario",
+    "designated_racers",
+    "CATALOG",
+    "scenario",
+    "scenario_names",
+    "register_catalog",
+]

@@ -1,0 +1,180 @@
+"""Composable TIR building blocks the scenario compiler lowers steps into.
+
+Each block reproduces a pattern proven out by the hand-written workload
+models (docs/workload_design.md): queue helpers follow the Dryad channel
+layout (lock + semaphore event + counters, all param-relative so one
+helper serves every instance), lock-update helpers follow Apache's
+``update_scoreboard`` (batch-granularity critical sections), and
+per-request traffic lives in *helper functions* so sampling operates at
+call granularity (§7 pathology rule).
+
+The emitters here are deliberately dumb: they translate one validated
+:class:`~repro.scenarios.spec.StepSpec` into instructions against a
+binding environment prepared by the compiler.  All policy (who is hot,
+where races sit, how queues balance) lives in
+:mod:`repro.scenarios.compile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..tir.addr import HeapSlot, Indexed, Param
+from ..tir.builder import FunctionBuilder, ProgramBuilder
+from ..workloads.patterns import tls_churn
+from .spec import LockSpec, ScenarioError, ScenarioSpec, StepSpec
+
+__all__ = [
+    "QUEUE_SLOTS",
+    "OFF_LOCK",
+    "OFF_EVENT",
+    "OFF_HEAD",
+    "OFF_TAIL",
+    "OFF_DEPTH",
+    "queue_push_name",
+    "queue_pop_name",
+    "lock_update_name",
+    "emit_queue_helpers",
+    "emit_lock_update",
+    "emit_step",
+    "binding_key",
+]
+
+#: Queue instance block layout (slots of 8 bytes, as in the Dryad model).
+QUEUE_SLOTS = 8
+OFF_LOCK = 0
+OFF_EVENT = 8
+OFF_HEAD = 16
+OFF_TAIL = 24
+OFF_DEPTH = 32
+#: Queue-counter offsets main must initialize before any thread runs.
+QUEUE_INIT_OFFSETS = (OFF_HEAD, OFF_TAIL, OFF_DEPTH)
+
+
+def queue_push_name(region: str) -> str:
+    return f"q_{region}_push"
+
+
+def queue_pop_name(region: str) -> str:
+    return f"q_{region}_pop"
+
+
+def lock_update_name(lock: str) -> str:
+    return f"{lock}_update"
+
+
+def binding_key(step: StepSpec) -> str:
+    """The worker-parameter binding a step needs, or "" for none.
+
+    ``own_rw`` steps bind the thread's partition base; queue steps bind
+    the selected queue-instance base.  Steps sharing a key share one
+    parameter.
+    """
+    if step.op == "own_rw":
+        return f"part:{step.target}"
+    if step.op in ("queue_push", "queue_pop"):
+        return f"q:{step.target}:{step.instance}"
+    return ""
+
+
+def emit_queue_helpers(b: ProgramBuilder, region: str) -> None:
+    """Define ``q_<region>_push`` / ``q_<region>_pop`` (p0 = instance base).
+
+    Push takes the queue lock, bumps tail and depth, releases, and signals
+    the semaphore event; pop waits for a signal, then bumps head and depth
+    under the lock.  Payload transfer is modelled by the pools' own
+    partition/TLS traffic, so the helpers touch counters only — every
+    access is lock-ordered and race-free by construction.
+    """
+    with b.function(queue_push_name(region), params=1) as f:
+        f.lock(Param(0, OFF_LOCK))
+        f.read(Param(0, OFF_TAIL))
+        f.write(Param(0, OFF_TAIL))
+        f.read(Param(0, OFF_DEPTH))
+        f.write(Param(0, OFF_DEPTH))
+        f.unlock(Param(0, OFF_LOCK))
+        f.notify(Param(0, OFF_EVENT))
+
+    with b.function(queue_pop_name(region), params=1) as f:
+        f.wait(Param(0, OFF_EVENT))
+        f.lock(Param(0, OFF_LOCK))
+        f.read(Param(0, OFF_HEAD))
+        f.write(Param(0, OFF_HEAD))
+        f.read(Param(0, OFF_DEPTH))
+        f.write(Param(0, OFF_DEPTH))
+        f.unlock(Param(0, OFF_LOCK))
+        f.compute(1)
+
+
+def emit_lock_update(b: ProgramBuilder, spec: ScenarioSpec, lock: LockSpec,
+                     lock_addr: int, region_bases: Dict[str, int]) -> None:
+    """Define ``<lock>_update``: a properly locked RMW of the guarded heads."""
+    with b.function(lock_update_name(lock.name)) as f:
+        f.lock(lock_addr)
+        for guarded in lock.guards:
+            f.read(region_bases[guarded])
+        f.compute(1)
+        for guarded in lock.guards:
+            f.write(region_bases[guarded])
+        f.unlock(lock_addr)
+
+
+def emit_step(f: FunctionBuilder, spec: ScenarioSpec, step: StepSpec,
+              region_bases: Dict[str, int],
+              params: Dict[str, int]) -> None:
+    """Lower one step inside a request/flush helper.
+
+    ``region_bases`` maps region names to their global base addresses;
+    ``params`` maps binding keys (:func:`binding_key`) to parameter indices
+    of the function being emitted.
+    """
+    if step.op == "tls":
+        tls_churn(f, slots=step.count)
+    elif step.op == "compute":
+        f.compute(step.count)
+    elif step.op == "io":
+        f.io(step.count)
+    elif step.op == "config_read":
+        base = region_bases[step.target]
+        region = spec.region(step.target)
+        count = min(step.count, region.elements)
+        if count == 1:
+            f.read(base)
+        else:
+            with f.loop(count):
+                f.read(Indexed(base, region.stride, 0))
+    elif step.op == "own_rw":
+        region = spec.region(step.target)
+        index = params[binding_key(step)]
+        count = min(step.count, region.elements)
+        if count == 1:
+            f.read(Param(index))
+            f.write(Param(index))
+        else:
+            with f.loop(count):
+                f.read(Indexed(Param(index), region.stride, 0))
+                f.write(Indexed(Param(index), region.stride, 0))
+    elif step.op == "locked_update":
+        f.call(lock_update_name(step.target))
+    elif step.op == "atomic":
+        f.atomic_rmw(region_bases[step.target])
+    elif step.op == "alloc_churn":
+        f.alloc(step.count * 64, 0)
+        with f.loop(step.count):
+            f.write(Indexed(HeapSlot(0), 8, 0))
+        f.free(0)
+    elif step.op == "queue_push":
+        index = params[binding_key(step)]
+        for _ in range(step.count):
+            f.call(queue_push_name(step.target), Param(index))
+    elif step.op == "queue_pop":
+        index = params[binding_key(step)]
+        for _ in range(step.count):
+            f.call(queue_pop_name(step.target), Param(index))
+    else:  # pragma: no cover - spec validation rejects unknown ops
+        raise ScenarioError(f"unknown step op {step.op!r}")
+
+
+def needs_heap_slot(steps: Tuple[StepSpec, ...]) -> bool:
+    """Whether a helper compiled from ``steps`` needs a frame slot."""
+    return any(step.op == "alloc_churn" for step in steps)

@@ -1,0 +1,312 @@
+"""The shipped scenario catalog: four service-shaped workloads.
+
+Each scenario is pure data — a :class:`~repro.scenarios.spec.ScenarioSpec`
+built here and compiled on demand — and registers through the ordinary
+:mod:`repro.workloads` registry (tagged ``"scenario"``, outside the fixed
+paper evaluation sets), so ``repro run``, the experiment engine, the
+static pass and the validation engine consume it like any hand-written
+benchmark module.
+
+The four shapes cover the service patterns the hand-written suite lacks:
+
+* ``kv-store`` — reader/writer pools over a shared table: config-read
+  lookups, per-thread journals/caches, two locked indices; no queues, so
+  it is the safe target for thread-count contention sweeps.
+* ``web-server`` — one acceptor feeding a worker pool through a
+  connection queue (the Apache shape, but queue-coupled).
+* ``pipeline`` — a three-stage producer/consumer chain over two bounded
+  channels (the Dryad shape, generalized).
+* ``work-steal`` — per-thread deques with ring-neighbor stealing at
+  chunk boundaries.
+
+Every scenario plants four races spanning the §3.4 archetypes: a
+warmed-cold start race, a cold-cold teardown race, a warm-frequent
+per-chunk race, and a hot-cold race (``hot=True`` drives the helper's
+per-function sampling rate to the floor before the shared calls land).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List
+
+from ..tir.program import Program
+from ..workloads import spec as registry
+from .compile import compile_scenario
+from .spec import (LockSpec, PoolSpec, RaceSpec, RegionSpec, ScenarioSpec,
+                   StepSpec, TrafficSpec)
+
+__all__ = ["CATALOG", "scenario", "scenario_names", "register_catalog"]
+
+
+def _steps(*rows) -> tuple:
+    return tuple(StepSpec.from_dict(row) for row in rows)
+
+
+def _kv_store() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="kv-store",
+        title="Key-value store (reader/writer pools)",
+        description="Readers scan a main-initialized table and a private "
+                    "cache; writers append to private journals and publish "
+                    "through two locked indices.",
+        regions=(
+            RegionSpec("table", elements=64),
+            RegionSpec("index", elements=8),
+            RegionSpec("stats", elements=4),
+            RegionSpec("journal", elements=8),
+            RegionSpec("cache", elements=8),
+        ),
+        locks=(
+            LockSpec("stats_lock", guards=("stats",)),
+            LockSpec("index_lock", guards=("index",)),
+        ),
+        pools=(
+            PoolSpec(
+                "readers", threads=6, requests=288, chunk=24,
+                stagger=20_000, io_per_request=400,
+                body=_steps(["config_read", "table", 6],
+                            ["own_rw", "cache", 2],
+                            ["tls", "", 1],
+                            ["compute", "", 2]),
+                flush=_steps(["locked_update", "stats_lock"]),
+            ),
+            PoolSpec(
+                "writers", threads=2, requests=96, chunk=12,
+                stagger=30_000, io_per_request=800,
+                body=_steps(["own_rw", "journal", 4],
+                            ["compute", "", 3],
+                            ["tls", "", 1]),
+                flush=_steps(["locked_update", "index_lock"],
+                             ["locked_update", "stats_lock"]),
+            ),
+        ),
+        races=(
+            RaceSpec("shard_init", pools=("readers", "writers"),
+                     rate="cold", placement="start", warmup=30,
+                     payload_reads=2),
+            RaceSpec("evict_scan", pools=("readers",),
+                     rate="cold", placement="end"),
+            RaceSpec("hit_counter", pools=("readers", "writers"),
+                     rate="frequent", warmup=40),
+            RaceSpec("ttl_probe", pools=("readers",), rate="cold",
+                     placement="end", read=False, hot=True),
+        ),
+        traffic=TrafficSpec(requests=2048,
+                            mix=(("get", 8), ("put", 2), ("scan", 1)),
+                            key_space=64, burst=8),
+    )
+
+
+def _web_server() -> ScenarioSpec:
+    # The acceptor and the worker pool keep requests/chunk == 16 so the
+    # scaled chunk counts match and the connection queue stays balanced
+    # at every scale (compile-time checked).
+    return ScenarioSpec(
+        name="web-server",
+        title="Web server (accept loop + worker pool)",
+        description="A single acceptor pushes connections onto a queue; "
+                    "eight workers pop, consult a read-only vhost table, "
+                    "churn request-scoped heap blocks and publish to a "
+                    "locked scoreboard per chunk.",
+        regions=(
+            RegionSpec("vhosts", elements=32),
+            RegionSpec("scoreboard", elements=4),
+            RegionSpec("connq", kind="queue", instances=1),
+        ),
+        locks=(LockSpec("sb_lock", guards=("scoreboard",)),),
+        pools=(
+            PoolSpec(
+                "acceptor", threads=1, requests=1024, chunk=64,
+                stagger=0, io_per_request=100,
+                body=_steps(["queue_push", "connq"],
+                            ["tls", "", 1],
+                            ["compute", "", 1]),
+            ),
+            PoolSpec(
+                "workers", threads=8, requests=128, chunk=8,
+                stagger=25_000, io_per_request=600,
+                body=_steps(["queue_pop", "connq"],
+                            ["config_read", "vhosts", 4],
+                            ["alloc_churn", "", 3],
+                            ["tls", "", 2],
+                            ["compute", "", 2]),
+                flush=_steps(["locked_update", "sb_lock"]),
+            ),
+        ),
+        races=(
+            RaceSpec("mime_init", pools=("workers",), rate="cold",
+                     placement="start", warmup=30, payload_reads=1),
+            RaceSpec("log_rotate", pools=("acceptor", "workers"),
+                     rate="cold", placement="end"),
+            RaceSpec("accept_stats", pools=("acceptor", "workers"),
+                     rate="frequent", warmup=20),
+            RaceSpec("conn_cache", pools=("workers",), rate="cold",
+                     placement="end", read=False, hot=True),
+        ),
+        traffic=TrafficSpec(requests=2048,
+                            mix=(("GET", 8), ("POST", 2), ("HEAD", 1)),
+                            key_space=128, burst=16),
+    )
+
+
+def _pipeline() -> ScenarioSpec:
+    # All three stages share requests/chunk, so both channels balance.
+    return ScenarioSpec(
+        name="pipeline",
+        title="Producer-consumer pipeline (three stages)",
+        description="Sources generate items into channel q1, transforms "
+                    "move them to q2, sinks drain them; the middle and "
+                    "final stages publish a locked depth gauge per chunk.",
+        regions=(
+            RegionSpec("srcbuf", elements=8),
+            RegionSpec("sinkbuf", elements=8),
+            RegionSpec("depth_stats", elements=4),
+            RegionSpec("q1", kind="queue", instances=1),
+            RegionSpec("q2", kind="queue", instances=1),
+        ),
+        locks=(LockSpec("depth_lock", guards=("depth_stats",)),),
+        pools=(
+            PoolSpec(
+                "sources", threads=2, requests=256, chunk=16,
+                stagger=15_000, io_per_request=300,
+                body=_steps(["own_rw", "srcbuf", 2],
+                            ["compute", "", 2],
+                            ["queue_push", "q1"]),
+            ),
+            PoolSpec(
+                "transforms", threads=2, requests=256, chunk=16,
+                stagger=20_000,
+                body=_steps(["queue_pop", "q1"],
+                            ["compute", "", 3],
+                            ["tls", "", 1],
+                            ["queue_push", "q2"]),
+                flush=_steps(["locked_update", "depth_lock"]),
+            ),
+            PoolSpec(
+                "sinks", threads=2, requests=256, chunk=16,
+                stagger=25_000, io_per_request=500,
+                body=_steps(["queue_pop", "q2"],
+                            ["own_rw", "sinkbuf", 2],
+                            ["compute", "", 1]),
+                flush=_steps(["locked_update", "depth_lock"]),
+            ),
+        ),
+        races=(
+            RaceSpec("buffer_pool_init", pools=("transforms", "sinks"),
+                     rate="cold", placement="start", warmup=25,
+                     payload_reads=2),
+            RaceSpec("stage_teardown", pools=("sources", "sinks"),
+                     rate="cold", placement="end"),
+            RaceSpec("depth_gauge", pools=("transforms", "sinks"),
+                     rate="frequent", warmup=30),
+            RaceSpec("checksum_slot", pools=("transforms",), rate="cold",
+                     placement="end", read=False, hot=True),
+        ),
+        traffic=TrafficSpec(requests=1536, mix=(("item", 1),),
+                            key_space=32, burst=8),
+    )
+
+
+def _work_steal() -> ScenarioSpec:
+    # Consumption is thief-side only: each worker pushes tasks onto its
+    # own deque and takes work from its ring neighbor (pops block in TIR,
+    # so owner self-pops could be starved by a thief stealing the item
+    # first — a real deadlock, not a modelling nicety).  Totals balance
+    # per instance by ring symmetry, and pushes precede pops in every
+    # chunk, so the ring cannot cycle-block.
+    return ScenarioSpec(
+        name="work-steal",
+        title="Work-stealing deque ring",
+        description="Four workers push tasks onto per-thread deques (one "
+                    "queue instance per thread) and take work from their "
+                    "ring neighbor, with a two-task steal burst and a "
+                    "locked stats update at chunk boundaries.",
+        regions=(
+            RegionSpec("taskbuf", elements=8),
+            RegionSpec("pool_stats", elements=4),
+            RegionSpec("deques", kind="queue", instances=4),
+        ),
+        locks=(LockSpec("pool_lock", guards=("pool_stats",)),),
+        pools=(
+            PoolSpec(
+                "workers", threads=4, requests=256, chunk=16,
+                stagger=20_000, io_per_request=200,
+                body=_steps({"op": "queue_push", "target": "deques",
+                             "instance": "own"},
+                            {"op": "queue_pop", "target": "deques",
+                             "instance": "next"},
+                            ["own_rw", "taskbuf", 2],
+                            ["compute", "", 2],
+                            ["tls", "", 1]),
+                flush=_steps({"op": "queue_push", "target": "deques",
+                              "count": 2, "instance": "own"},
+                             {"op": "queue_pop", "target": "deques",
+                              "count": 2, "instance": "next"},
+                             ["locked_update", "pool_lock"]),
+            ),
+        ),
+        races=(
+            RaceSpec("deque_grow", pools=("workers",), rate="cold",
+                     placement="start", warmup=20, payload_reads=1),
+            RaceSpec("idle_flag", pools=("workers",), rate="cold",
+                     placement="end", read=False),
+            RaceSpec("steal_stats", pools=("workers",), rate="frequent",
+                     warmup=25),
+            RaceSpec("task_hash", pools=("workers",), rate="cold",
+                     placement="end", hot=True),
+        ),
+        traffic=TrafficSpec(requests=1024,
+                            mix=(("spawn", 2), ("steal", 1)),
+                            key_space=16, burst=8),
+    )
+
+
+#: The shipped scenarios, in presentation order, validated at import.
+CATALOG: tuple = tuple(
+    build().validate() for build in
+    (_kv_store, _web_server, _pipeline, _work_steal))
+
+_BY_NAME: Dict[str, ScenarioSpec] = {s.name: s for s in CATALOG}
+
+
+def scenario(name: str) -> ScenarioSpec:
+    """Look up a shipped scenario by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; known: "
+                         f"{', '.join(scenario_names())}") from None
+
+
+def scenario_names() -> List[str]:
+    return [s.name for s in CATALOG]
+
+
+def _build_by_name(name: str, seed: int = 0, scale: float = 1.0) -> Program:
+    # Module-level + functools.partial keeps registry builders picklable
+    # for the experiment engine's process pool.
+    return compile_scenario(scenario(name), seed=seed, scale=scale)
+
+
+def register_catalog() -> None:
+    """Register every catalog scenario as an ordinary workload.
+
+    Scenarios stay outside the fixed paper evaluation sets (Table 4/5
+    membership is the paper's, not ours) but participate in everything
+    keyed off ``workloads.names()``: the static-pruning ablation, the
+    differential tests, ``repro run``/``staticpass``/``validate``.
+    Idempotent so repeated imports do not trip the duplicate guard.
+    """
+    for spec in CATALOG:
+        if spec.name in registry.names():
+            continue
+        registry.register(registry.WorkloadSpec(
+            name=spec.name,
+            title=spec.title,
+            description=spec.description,
+            builder=functools.partial(_build_by_name, spec.name),
+            in_race_eval=False,
+            in_overhead_eval=False,
+            tags=("scenario",),
+        ))

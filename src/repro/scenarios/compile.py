@@ -1,0 +1,360 @@
+"""Lower a validated :class:`ScenarioSpec` into a TIR program.
+
+The compiled shape follows the hand-written service models
+(docs/workload_design.md):
+
+* every pool thread runs ``io(stagger * t)`` first, so thread starts are
+  staggered and global samplers cannot free-ride on one cold prefix;
+* per-request traffic is compiled into a hot ``<pool>_request`` helper and
+  batch traffic into ``<pool>_flush`` — sampling decisions happen at call
+  granularity, and lock traffic stays at chunk granularity so
+  happens-before edges do not accidentally order the planted races;
+* cold races are wired through fork arguments: *every* thread of the
+  race's pools calls the racy helper, but only the designated racers (the
+  latest spawns, chosen round-robin from the back of each pool) receive
+  the shared address — everyone else gets a private one, exactly like a
+  worker that never happens to hit the cold path;
+* frequent races fire once per chunk in every thread of their pools, and
+  ``hot=True`` races additionally run the helper on thread-private TLS
+  once per request, producing the hot-cold archetype that sets sampler
+  detection ceilings.
+
+Compile-time checks extend the spec's structural validation with the
+rules that need concrete scale/layout: queue push/pop balance per
+instance, region role disjointness (a region may be config-read, lock
+guarded, or an atomic target — never two of those), and single-lock
+ownership per guarded region.  Violations raise
+:class:`~repro.scenarios.spec.ScenarioError` naming the culprit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set, Tuple
+
+from ..tir.addr import Indexed, Param
+from ..tir.builder import ProgramBuilder
+from ..tir.program import Program
+from ..workloads.patterns import RacePlan, RacyHelper
+from .blocks import (QUEUE_INIT_OFFSETS, QUEUE_SLOTS, binding_key,
+                     emit_lock_update, emit_queue_helpers, emit_step,
+                     needs_heap_slot)
+from .spec import PoolSpec, RaceSpec, ScenarioError, ScenarioSpec
+
+__all__ = ["compile_scenario", "designated_racers"]
+
+#: TLS offsets used by hot-race helper calls, spaced clear of the small
+#: slots ``tls_churn`` touches and of each helper's payload reads.
+_HOT_TLS_BASE = 1024
+_HOT_TLS_STRIDE = 128
+
+
+def designated_racers(spec: ScenarioSpec,
+                      race: RaceSpec) -> Set[Tuple[str, int]]:
+    """The (pool, thread) pairs that receive the shared address.
+
+    Cold racers are the *latest* spawns: threads are picked from the back
+    of each listed pool, round-robin across pools, so the racing first
+    executions land after the run has warmed up (the §3.4 shape).
+    """
+    remaining = {name: list(range(spec.pool(name).threads))
+                 for name in race.pools}
+    chosen: Set[Tuple[str, int]] = set()
+    while len(chosen) < race.racers:
+        progressed = False
+        for name in race.pools:
+            if len(chosen) >= race.racers:
+                break
+            if remaining[name]:
+                chosen.add((name, remaining[name].pop()))
+                progressed = True
+        if not progressed:  # pragma: no cover - spec.validate precludes it
+            raise ScenarioError(f"race {race.name!r}: not enough threads")
+    return chosen
+
+
+def _pool_bindings(pool: PoolSpec) -> Tuple[List[str], List[str]]:
+    """Ordered unique binding keys for the body and flush helpers."""
+    body: List[str] = []
+    for step in pool.body:
+        key = binding_key(step)
+        if key and key not in body:
+            body.append(key)
+    flush: List[str] = []
+    for step in pool.flush:
+        key = binding_key(step)
+        if key and key not in flush:
+            flush.append(key)
+    return body, flush
+
+
+def _check_region_roles(spec: ScenarioSpec) -> None:
+    """No region may serve two access disciplines.
+
+    ``config_read`` regions are read unsynchronized (safe only because
+    nothing ever writes them after main), lock guards are written under
+    their lock, and ``atomic`` targets are sync variables.  Mixing any
+    two on one region would manufacture unplanted races or alias sync
+    and data addresses — both break the ground-truth invariant.
+    """
+    roles: Dict[str, Set[str]] = {}
+    guard_owner: Dict[str, str] = {}
+    for lock in spec.locks:
+        for guarded in lock.guards:
+            if guarded in guard_owner and guard_owner[guarded] != lock.name:
+                raise ScenarioError(
+                    f"region {guarded!r} guarded by two locks "
+                    f"({guard_owner[guarded]!r} and {lock.name!r}); pick one")
+            guard_owner[guarded] = lock.name
+            roles.setdefault(guarded, set()).add("lock-guarded")
+    for pool in spec.pools:
+        for step in pool.body + pool.flush:
+            if step.op == "config_read":
+                roles.setdefault(step.target, set()).add("config-read")
+            elif step.op == "atomic":
+                roles.setdefault(step.target, set()).add("atomic")
+    for region, found in sorted(roles.items()):
+        if len(found) > 1:
+            raise ScenarioError(
+                f"region {region!r} used as {' and '.join(sorted(found))}; "
+                f"a region may serve exactly one access discipline")
+
+
+def _queue_instance(step, thread: int, instances: int) -> int:
+    if step.instance == "own":
+        return thread
+    if step.instance == "next":
+        return (thread + 1) % instances
+    return 0
+
+
+def _check_queue_balance(spec: ScenarioSpec, scale: float) -> None:
+    """Total pushes must equal total pops per queue instance at ``scale``.
+
+    Pops block on a counting event, so an imbalance is a hang (missing
+    pushes) or leftover items (missing pops) — either way a broken
+    scenario.  Checked against the *scaled* chunk counts, so catalog
+    scenarios must keep their requests/chunk ratios aligned across
+    queue-coupled pools (rounding then preserves balance at any scale).
+    """
+    pushes: Counter = Counter()
+    pops: Counter = Counter()
+    for pool in spec.pools:
+        chunks = pool.chunks(scale)
+        per_thread = chunks * pool.chunk
+        for thread in range(pool.threads):
+            for steps, reps in ((pool.body, per_thread),
+                                (pool.flush, chunks)):
+                for step in steps:
+                    if step.op not in ("queue_push", "queue_pop"):
+                        continue
+                    region = spec.region(step.target)
+                    key = (step.target,
+                           _queue_instance(step, thread, region.instances))
+                    count = step.count * reps
+                    if step.op == "queue_push":
+                        pushes[key] += count
+                    else:
+                        pops[key] += count
+    for key in sorted(set(pushes) | set(pops)):
+        if pushes[key] != pops[key]:
+            region, instance = key
+            raise ScenarioError(
+                f"queue {region!r} instance {instance}: {pushes[key]} "
+                f"pushes vs {pops[key]} pops at scale {scale:g}; adjust "
+                f"pool requests/chunk ratios until they balance")
+
+
+def compile_scenario(spec: ScenarioSpec, seed: int = 0,
+                     scale: float = 1.0) -> Program:
+    """Compile ``spec`` into a TIR :class:`Program` with planted ground
+    truth attached.
+
+    ``seed`` is accepted for registry-builder compatibility; the program
+    structure is a pure function of (spec, scale) — scheduling randomness
+    belongs to the interleaving seed, not the build.
+    """
+    spec.validate()
+    if scale <= 0:
+        raise ScenarioError(f"{spec.name}: scale must be positive")
+    _check_region_roles(spec)
+    _check_queue_balance(spec, scale)
+    for race in spec.races:
+        if not race.write:
+            raise ScenarioError(
+                f"race {race.name!r}: a planted site needs write access "
+                f"(read-only sites produce no racy pair)")
+
+    b = ProgramBuilder(spec.name)
+    plan = RacePlan()
+
+    # -- static data layout ------------------------------------------------
+    data_bases: Dict[str, int] = {}
+    queue_bases: Dict[str, List[int]] = {}
+    for region in spec.regions:
+        if region.kind == "data":
+            data_bases[region.name] = b.global_array(
+                region.name, region.elements, region.stride)
+        else:
+            queue_bases[region.name] = [
+                b.global_array(f"{region.name}__q{i}", QUEUE_SLOTS, 8)
+                for i in range(region.instances)]
+    part_bases: Dict[Tuple[str, str], int] = {}
+    for pool in spec.pools:
+        for step in pool.body + pool.flush:
+            if step.op != "own_rw":
+                continue
+            key = (pool.name, step.target)
+            if key not in part_bases:
+                region = spec.region(step.target)
+                part_bases[key] = b.global_array(
+                    f"{step.target}__{pool.name}_part",
+                    pool.threads * region.elements, region.stride)
+    lock_addrs = {lock.name: b.global_addr(f"lock_{lock.name}")
+                  for lock in spec.locks}
+
+    # -- shared helper functions ------------------------------------------
+    for region in spec.regions:
+        if region.kind == "queue":
+            emit_queue_helpers(b, region.name)
+    for lock in spec.locks:
+        emit_lock_update(b, spec, lock, lock_addrs[lock.name], data_bases)
+
+    helpers: Dict[str, RacyHelper] = {}
+    for race in spec.races:
+        helpers[race.name] = RacyHelper(
+            b, plan, race.name, read=race.read, write=race.write,
+            payload_reads=race.payload_reads, expect_rare=race.expect_rare)
+    cold_map = {race.name: designated_racers(spec, race)
+                for race in spec.races if race.rate == "cold"}
+
+    # -- per-pool request / flush / worker ---------------------------------
+    worker_params: Dict[str, Dict[str, int]] = {}
+    pool_races: Dict[str, Dict[str, List[RaceSpec]]] = {}
+    for pool in spec.pools:
+        body_binds, flush_binds = _pool_bindings(pool)
+        all_binds = body_binds + [k for k in flush_binds
+                                  if k not in body_binds]
+        cold = [r for r in spec.races
+                if r.rate == "cold" and pool.name in r.pools]
+        frequent = [r for r in spec.races
+                    if r.rate == "frequent" and pool.name in r.pools]
+        hot = [r for r in spec.races if r.hot and pool.name in r.pools]
+        pool_races[pool.name] = {"cold": cold, "frequent": frequent}
+
+        # Worker parameter layout: p0 stagger, then one per binding, then
+        # one racy-helper target per cold race this pool participates in.
+        index = {key: 1 + i for i, key in enumerate(all_binds)}
+        race_index = {r.name: 1 + len(all_binds) + i
+                      for i, r in enumerate(cold)}
+        worker_params[pool.name] = {**index,
+                                    **{f"race:{n}": i
+                                       for n, i in race_index.items()}}
+
+        local = {key: i for i, key in enumerate(body_binds)}
+        slots = 1 if needs_heap_slot(pool.body) else 0
+        with b.function(f"{pool.name}_request", params=len(body_binds),
+                        slots=slots) as f:
+            for step in pool.body:
+                emit_step(f, spec, step, data_bases, local)
+            for race in hot:
+                offset = _HOT_TLS_BASE + _HOT_TLS_STRIDE * \
+                    list(spec.races).index(race)
+                helpers[race.name].call_tls(f, offset)
+
+        if pool.flush:
+            local = {key: i for i, key in enumerate(flush_binds)}
+            slots = 1 if needs_heap_slot(pool.flush) else 0
+            with b.function(f"{pool.name}_flush", params=len(flush_binds),
+                            slots=slots) as f:
+                for step in pool.flush:
+                    emit_step(f, spec, step, data_bases, local)
+
+        chunks = pool.chunks(scale)
+        with b.function(f"{pool.name}_worker",
+                        params=1 + len(all_binds) + len(cold)) as f:
+            f.io(Param(0))
+            for race in cold:
+                if race.placement == "start":
+                    helpers[race.name].call_with(
+                        f, Param(race_index[race.name]))
+            with f.loop(chunks):
+                # Frequent races fire at chunk *start*: the first chunk's
+                # call then precedes every lock/wait the thread will ever
+                # take, so each thread's opening call is concurrent with
+                # every other thread's calls no matter how the scheduler
+                # orders the lock traffic later in the chunk.
+                for race in frequent:
+                    helpers[race.name].call_shared(f)
+                with f.loop(pool.chunk):
+                    if pool.io_per_request:
+                        f.io(pool.io_per_request)
+                    f.call(f"{pool.name}_request",
+                           *(Param(index[k]) for k in body_binds))
+                if pool.flush:
+                    f.call(f"{pool.name}_flush",
+                           *(Param(index[k]) for k in flush_binds))
+            for race in cold:
+                if race.placement == "end":
+                    helpers[race.name].call_with(
+                        f, Param(race_index[race.name]))
+
+    # -- main: init, warmups, fork/join ------------------------------------
+    with b.function("main", slots=spec.total_threads) as f:
+        for region in spec.regions:
+            if region.kind == "data":
+                with f.loop(region.elements):
+                    f.write(Indexed(data_bases[region.name],
+                                    region.stride, 0))
+            else:
+                for base in queue_bases[region.name]:
+                    for offset in QUEUE_INIT_OFFSETS:
+                        f.write(base + offset)
+        for race in spec.races:
+            if race.warmup:
+                with f.loop(race.warmup):
+                    helpers[race.name].call_private(f, "main")
+                    f.compute(1)
+        slot = 0
+        for pool in spec.pools:
+            params = worker_params[pool.name]
+            bindings = [k for k in sorted(params, key=params.get)
+                        if not k.startswith("race:")]
+            cold = pool_races[pool.name]["cold"]
+            for thread in range(pool.threads):
+                args: List[int] = [pool.stagger * thread]
+                for key in bindings:
+                    args.append(_resolve_binding(
+                        spec, pool, key, thread, part_bases, queue_bases))
+                for race in cold:
+                    helper = helpers[race.name]
+                    if (pool.name, thread) in cold_map[race.name]:
+                        args.append(helper.shared)
+                    else:
+                        args.append(helper.private_addr(
+                            f"{pool.name}{thread}"))
+                f.fork(f"{pool.name}_worker", *args, tid_slot=slot)
+                slot += 1
+        for tid_slot in range(spec.total_threads):
+            f.join(tid_slot)
+
+    program = b.build(entry="main")
+    return plan.attach(program)
+
+
+def _resolve_binding(spec: ScenarioSpec, pool: PoolSpec, key: str,
+                     thread: int, part_bases: Dict[Tuple[str, str], int],
+                     queue_bases: Dict[str, List[int]]) -> int:
+    """The fork-argument value of one binding for one pool thread."""
+    kind, _, rest = key.partition(":")
+    if kind == "part":
+        region = spec.region(rest)
+        return part_bases[(pool.name, rest)] + \
+            thread * region.elements * region.stride
+    region_name, _, selector = rest.partition(":")
+    instances = queue_bases[region_name]
+    if selector == "own":
+        return instances[thread]
+    if selector == "next":
+        return instances[(thread + 1) % len(instances)]
+    return instances[0]

@@ -1,0 +1,520 @@
+"""Declarative scenario specifications.
+
+A *scenario* is a service-shaped workload described by data instead of a
+hand-written builder module: thread pools, shared regions, lock
+disciplines, queue wiring, planted-race placement, and a traffic profile,
+all in small frozen dataclasses with a YAML-ish dict round trip.  The
+compiler (:mod:`repro.scenarios.compile`) lowers a spec into a TIR program
+through the composable building blocks in :mod:`repro.scenarios.blocks`,
+attaching the same ``planted_races`` ground truth the hand-written
+workload modules carry — so a scenario is a first-class workload the
+moment it is registered.
+
+The spec layer owns *validation*: every structural rule that keeps the
+compiled program inside the workload-design invariants (no unplanted
+races, queue push/pop balance, helpers-for-hot-code) is checked here or at
+compile time and raises :class:`ScenarioError` with a message naming the
+offending element, never a silently-wrong program.
+
+Parameterization goes through :meth:`ScenarioSpec.derive`, which
+deep-merges an override dict onto the spec's dict form — the experiment
+sweeps use it to turn one scenario into a contention series::
+
+    crowded = spec.derive({"pools": {"readers": {"threads": 16}}})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+__all__ = [
+    "ScenarioError",
+    "RegionSpec",
+    "LockSpec",
+    "StepSpec",
+    "PoolSpec",
+    "RaceSpec",
+    "TrafficSpec",
+    "ScenarioSpec",
+]
+
+
+class ScenarioError(ValueError):
+    """A scenario spec is structurally invalid or cannot be compiled."""
+
+
+#: Step vocabulary understood by the compiler (see blocks.py for the
+#: lowering of each op).
+STEP_OPS = (
+    "tls",            # thread-private churn (count = slots)
+    "compute",        # pure computation (count = units)
+    "io",             # blocking I/O (count = virtual time units)
+    "config_read",    # read a main-initialized read-only region (count = elems)
+    "own_rw",         # read+write the thread's private partition of a region
+    "locked_update",  # properly locked RMW of a lock's guarded regions
+    "atomic",         # lock-free atomic RMW on a region head
+    "alloc_churn",    # alloc / write / free a scratch heap block
+    "queue_push",     # push one item (lock + counters + notify)
+    "queue_pop",      # pop one item (wait + lock + counters)
+)
+
+#: Queue instance selectors: which instance of a multi-instance queue
+#: region a pool thread binds to.
+QUEUE_SELECTORS = ("all", "own", "next")
+
+
+def _tuple_of(cls, rows: Iterable[Any], what: str) -> Tuple:
+    out = []
+    for row in rows:
+        if isinstance(row, cls):
+            out.append(row)
+        elif isinstance(row, Mapping):
+            out.append(cls.from_dict(row))
+        else:
+            raise ScenarioError(f"{what}: expected {cls.__name__} or dict, "
+                                f"got {type(row).__name__}")
+    return tuple(out)
+
+
+def _check_unique(items: Iterable[str], what: str) -> None:
+    seen = set()
+    for name in items:
+        if name in seen:
+            raise ScenarioError(f"duplicate {what} name {name!r}")
+        seen.add(name)
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """A named shared-memory region.
+
+    ``kind="data"`` is a flat array of ``elements`` slots; ``kind="queue"``
+    is ``instances`` queue blocks (lock, event, head, tail, depth — the
+    channel layout of the Dryad model).
+    """
+
+    name: str
+    kind: str = "data"                # "data" | "queue"
+    elements: int = 8
+    stride: int = 8
+    instances: int = 1               # queue regions only
+
+    def validate(self) -> None:
+        if self.kind not in ("data", "queue"):
+            raise ScenarioError(f"region {self.name!r}: unknown kind "
+                                f"{self.kind!r}")
+        if self.elements < 1 or self.stride < 1 or self.instances < 1:
+            raise ScenarioError(f"region {self.name!r}: elements, stride and "
+                                f"instances must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind,
+                "elements": self.elements, "stride": self.stride,
+                "instances": self.instances}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RegionSpec":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class LockSpec:
+    """A named lock and the data regions it guards.
+
+    ``locked_update`` steps name the lock; the compiled helper updates the
+    head slot of every guarded region inside one critical section.
+    """
+
+    name: str
+    guards: Tuple[str, ...] = ()
+
+    def validate(self) -> None:
+        if not self.guards:
+            raise ScenarioError(f"lock {self.name!r} guards no region")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "guards": list(self.guards)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LockSpec":
+        data = dict(data)
+        data["guards"] = tuple(data.get("guards", ()))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One building-block step of a pool's request or flush body."""
+
+    op: str
+    target: str = ""                  # region or lock name (op-dependent)
+    count: int = 1
+    instance: str = "all"             # queue ops: "all" | "own" | "next"
+
+    def validate(self) -> None:
+        if self.op not in STEP_OPS:
+            raise ScenarioError(f"unknown step op {self.op!r}; known: "
+                                f"{', '.join(STEP_OPS)}")
+        if self.count < 1:
+            raise ScenarioError(f"step {self.op!r}: count must be >= 1")
+        if self.instance not in QUEUE_SELECTORS:
+            raise ScenarioError(f"step {self.op!r}: unknown queue instance "
+                                f"selector {self.instance!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"op": self.op}
+        if self.target:
+            out["target"] = self.target
+        if self.count != 1:
+            out["count"] = self.count
+        if self.instance != "all":
+            out["instance"] = self.instance
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "StepSpec":
+        # Shorthand: ["op", "target", count] or ("op",) tuples.
+        if isinstance(data, (list, tuple)):
+            parts = list(data)
+            out = cls(op=parts[0],
+                      target=parts[1] if len(parts) > 1 else "",
+                      count=parts[2] if len(parts) > 2 else 1)
+            return out
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """One service thread pool.
+
+    Each thread runs ``requests`` scaled per-request bodies (compiled into
+    a hot ``<pool>_request`` helper), grouped into chunks of ``chunk``
+    requests; per chunk the thread makes its frequent-race calls and runs
+    the ``flush`` steps (compiled into a ``<pool>_flush`` helper — this is
+    where batch-granularity lock traffic belongs).  Threads spawn
+    ``stagger`` virtual-time units apart, the structural device that keeps
+    global samplers honest (docs/workload_design.md §4).
+    """
+
+    name: str
+    threads: int = 4
+    requests: int = 256               # per-thread requests at scale 1.0
+    chunk: int = 16                   # requests per flush/race chunk
+    stagger: int = 20_000
+    io_per_request: int = 0
+    body: Tuple[StepSpec, ...] = ()
+    flush: Tuple[StepSpec, ...] = ()
+
+    def validate(self) -> None:
+        if self.threads < 1:
+            raise ScenarioError(f"pool {self.name!r}: threads must be >= 1")
+        if self.chunk < 1 or self.requests < self.chunk:
+            raise ScenarioError(f"pool {self.name!r}: needs requests >= "
+                                f"chunk >= 1")
+        if not self.body:
+            raise ScenarioError(f"pool {self.name!r}: empty request body")
+        for step in self.body + self.flush:
+            step.validate()
+
+    def chunks(self, scale: float) -> int:
+        """Chunks per thread at ``scale``, rounded to whole chunks.
+
+        Floored at two: chunk boundaries are where frequent races and
+        lock flushes happen, and a single chunk lets queue wait/lock
+        edges serialize one-call-per-thread patterns that are racy at
+        every realistic size.
+        """
+        return max(2, round(self.requests * scale / self.chunk))
+
+    def requests_per_thread(self, scale: float) -> int:
+        return self.chunks(scale) * self.chunk
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "threads": self.threads,
+            "requests": self.requests, "chunk": self.chunk,
+            "stagger": self.stagger, "io_per_request": self.io_per_request,
+            "body": [s.to_dict() for s in self.body],
+            "flush": [s.to_dict() for s in self.flush],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PoolSpec":
+        data = dict(data)
+        data["body"] = tuple(StepSpec.from_dict(s)
+                             for s in data.get("body", ()))
+        data["flush"] = tuple(StepSpec.from_dict(s)
+                              for s in data.get("flush", ()))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RaceSpec:
+    """Placement of one planted race across a scenario's pools.
+
+    ``rate="cold"`` races execute once per designated thread (``racers``
+    threads chosen from the ends of the listed pools — the late spawns) at
+    ``placement`` "start" (right after the stagger, the warmed-cold shape
+    when ``warmup`` > 0) or "end" (after the request loop, the
+    finalizer/teardown shape).  ``rate="frequent"`` races execute once per
+    chunk in *every* thread of the listed pools.  ``hot=True`` additionally
+    calls the racy helper on thread-private data once per request, turning
+    the site into the hot-cold archetype that sets sampler ceilings.
+    """
+
+    name: str
+    pools: Tuple[str, ...]
+    rate: str = "cold"                # "cold" | "frequent"
+    placement: str = "end"            # cold races: "start" | "end"
+    racers: int = 2                   # cold races: designated threads
+    read: bool = True
+    write: bool = True
+    payload_reads: int = 0
+    warmup: int = 0                   # main-thread private pre-fork calls
+    hot: bool = False                 # also called per-request on TLS data
+
+    @property
+    def expect_rare(self) -> bool:
+        return self.rate == "cold"
+
+    def validate(self) -> None:
+        if not self.pools:
+            raise ScenarioError(f"race {self.name!r}: no pools listed")
+        if self.rate not in ("cold", "frequent"):
+            raise ScenarioError(f"race {self.name!r}: unknown rate "
+                                f"{self.rate!r}")
+        if self.placement not in ("start", "end"):
+            raise ScenarioError(f"race {self.name!r}: unknown placement "
+                                f"{self.placement!r}")
+        if self.rate == "cold" and self.racers < 2:
+            raise ScenarioError(f"race {self.name!r}: cold races need >= 2 "
+                                f"racers")
+        if not (self.read or self.write):
+            raise ScenarioError(f"race {self.name!r}: needs read and/or "
+                                f"write access")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "pools": list(self.pools), "rate": self.rate,
+            "placement": self.placement, "racers": self.racers,
+            "read": self.read, "write": self.write,
+            "payload_reads": self.payload_reads, "warmup": self.warmup,
+            "hot": self.hot,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RaceSpec":
+        data = dict(data)
+        data["pools"] = tuple(data.get("pools", ()))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """The scenario's traffic profile (drives the trace generator).
+
+    ``requests`` is the nominal whole-scenario request volume at scale 1.0
+    — :meth:`ScenarioSpec.scale_for_requests` maps an absolute request
+    count back to a compile scale, which is how the same scenario runs at
+    10 or 10k requests.  ``mix`` weights the operation kinds of generated
+    traffic; ``burst`` is how many requests a load-generator connection
+    carries before rolling over.
+    """
+
+    requests: int = 2048
+    mix: Tuple[Tuple[str, int], ...] = (("request", 1),)
+    key_space: int = 64
+    burst: int = 8
+
+    def validate(self) -> None:
+        if self.requests < 1 or self.key_space < 1 or self.burst < 1:
+            raise ScenarioError("traffic: requests, key_space and burst "
+                                "must be positive")
+        if not self.mix or any(weight < 1 for _, weight in self.mix):
+            raise ScenarioError("traffic: mix needs >= 1 op with positive "
+                                "weights")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"requests": self.requests,
+                "mix": [[op, weight] for op, weight in self.mix],
+                "key_space": self.key_space, "burst": self.burst}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrafficSpec":
+        data = dict(data)
+        data["mix"] = tuple((op, weight) for op, weight in
+                            data.get("mix", (("request", 1),)))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative scenario."""
+
+    name: str
+    title: str = ""
+    description: str = ""
+    regions: Tuple[RegionSpec, ...] = ()
+    locks: Tuple[LockSpec, ...] = ()
+    pools: Tuple[PoolSpec, ...] = ()
+    races: Tuple[RaceSpec, ...] = ()
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+
+    # -- lookups ----------------------------------------------------------
+    def region(self, name: str) -> RegionSpec:
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise ScenarioError(f"{self.name}: unknown region {name!r}")
+
+    def lock(self, name: str) -> LockSpec:
+        for lock in self.locks:
+            if lock.name == name:
+                return lock
+        raise ScenarioError(f"{self.name}: unknown lock {name!r}")
+
+    def pool(self, name: str) -> PoolSpec:
+        for pool in self.pools:
+            if pool.name == name:
+                return pool
+        raise ScenarioError(f"{self.name}: unknown pool {name!r}")
+
+    @property
+    def total_threads(self) -> int:
+        return sum(pool.threads for pool in self.pools)
+
+    def scale_for_requests(self, requests: int) -> float:
+        """The compile scale at which the scenario serves ``requests``."""
+        if requests < 1:
+            raise ScenarioError("requests must be >= 1")
+        return requests / self.traffic.requests
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> "ScenarioSpec":
+        if not self.name:
+            raise ScenarioError("scenario needs a name")
+        if not self.pools:
+            raise ScenarioError(f"{self.name}: needs at least one pool")
+        _check_unique((r.name for r in self.regions), "region")
+        _check_unique((l.name for l in self.locks), "lock")
+        _check_unique((p.name for p in self.pools), "pool")
+        _check_unique((r.name for r in self.races), "race")
+        for region in self.regions:
+            region.validate()
+        for lock in self.locks:
+            lock.validate()
+            for guarded in lock.guards:
+                if self.region(guarded).kind != "data":
+                    raise ScenarioError(f"lock {lock.name!r} guards "
+                                        f"non-data region {guarded!r}")
+        self.traffic.validate()
+        for pool in self.pools:
+            pool.validate()
+            for step in pool.body + pool.flush:
+                self._validate_step(pool, step)
+        for race in self.races:
+            race.validate()
+            for pool_name in race.pools:
+                self.pool(pool_name)
+            available = sum(self.pool(p).threads for p in race.pools)
+            needed = race.racers if race.rate == "cold" else 2
+            if available < needed:
+                raise ScenarioError(
+                    f"race {race.name!r}: needs {needed} threads across "
+                    f"{race.pools}, only {available} available")
+        return self
+
+    def _validate_step(self, pool: PoolSpec, step: StepSpec) -> None:
+        where = f"pool {pool.name!r} step {step.op!r}"
+        if step.op in ("config_read", "own_rw", "atomic"):
+            if self.region(step.target).kind != "data":
+                raise ScenarioError(f"{where}: target {step.target!r} must "
+                                    f"be a data region")
+        elif step.op in ("queue_push", "queue_pop"):
+            region = self.region(step.target)
+            if region.kind != "queue":
+                raise ScenarioError(f"{where}: target {step.target!r} must "
+                                    f"be a queue region")
+            if step.instance in ("own", "next") and \
+                    region.instances != pool.threads:
+                raise ScenarioError(
+                    f"{where}: selector {step.instance!r} needs "
+                    f"{step.target!r}.instances == {pool.name!r}.threads "
+                    f"({region.instances} != {pool.threads})")
+        elif step.op == "locked_update":
+            self.lock(step.target)
+
+    # -- dict round trip ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "title": self.title,
+            "description": self.description,
+            "regions": [r.to_dict() for r in self.regions],
+            "locks": [l.to_dict() for l in self.locks],
+            "pools": [p.to_dict() for p in self.pools],
+            "races": [r.to_dict() for r in self.races],
+            "traffic": self.traffic.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        data = dict(data)
+        spec = cls(
+            name=data.get("name", ""),
+            title=data.get("title", ""),
+            description=data.get("description", ""),
+            regions=_tuple_of(RegionSpec, data.get("regions", ()), "regions"),
+            locks=_tuple_of(LockSpec, data.get("locks", ()), "locks"),
+            pools=_tuple_of(PoolSpec, data.get("pools", ()), "pools"),
+            races=_tuple_of(RaceSpec, data.get("races", ()), "races"),
+            traffic=TrafficSpec.from_dict(data.get("traffic", {})),
+        )
+        return spec.validate()
+
+    # -- parameterization --------------------------------------------------
+    def derive(self, overrides: Mapping[str, Any],
+               rename: Optional[str] = None) -> "ScenarioSpec":
+        """A new validated spec with ``overrides`` deep-merged in.
+
+        Named collections (``regions``, ``locks``, ``pools``, ``races``)
+        merge *by element name*: ``{"pools": {"readers": {"threads": 8}}}``
+        touches only the ``readers`` pool.  Scalars replace; ``traffic``
+        merges key-by-key.  ``rename`` gives the derived spec its own name
+        (required before registering both as workloads).
+        """
+        base = self.to_dict()
+        merged = _deep_merge(base, overrides)
+        if rename is not None:
+            merged["name"] = rename
+        return ScenarioSpec.from_dict(merged)
+
+
+_NAMED_LISTS = ("regions", "locks", "pools", "races")
+
+
+def _deep_merge(base: Dict[str, Any],
+                overrides: Mapping[str, Any]) -> Dict[str, Any]:
+    out = dict(base)
+    for key, value in overrides.items():
+        if key in _NAMED_LISTS and isinstance(value, Mapping):
+            rows = [dict(row) for row in out.get(key, [])]
+            index = {row["name"]: i for i, row in enumerate(rows)}
+            for name, patch in value.items():
+                if not isinstance(patch, Mapping):
+                    raise ScenarioError(
+                        f"derive: {key}.{name} override must be a mapping")
+                if name in index:
+                    rows[index[name]] = _deep_merge(rows[index[name]], patch)
+                else:
+                    new_row = dict(patch)
+                    new_row.setdefault("name", name)
+                    rows.append(new_row)
+            out[key] = rows
+        elif key == "traffic" and isinstance(value, Mapping):
+            out[key] = _deep_merge(dict(out.get(key, {})), value)
+        elif isinstance(value, Mapping) and isinstance(out.get(key), dict):
+            out[key] = _deep_merge(out[key], value)
+        else:
+            out[key] = value
+    return out

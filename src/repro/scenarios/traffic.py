@@ -1,0 +1,64 @@
+"""Deterministic trace generation from a scenario's traffic profile.
+
+A *trace* is the request-level view of a scenario: a seeded sequence of
+(op, key) items drawn from the :class:`~repro.scenarios.spec.TrafficSpec`
+mix, grouped into bursts (a burst models one client session — the load
+generator replays each burst's requests through one template).  The same
+(spec, seed, requests) triple always yields the same trace, so a loadgen
+run is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .spec import ScenarioSpec
+
+__all__ = ["TrafficItem", "generate_trace", "bursts"]
+
+
+@dataclass(frozen=True)
+class TrafficItem:
+    """One generated request."""
+
+    index: int
+    op: str
+    key: int
+    #: The burst (client session) this request belongs to.
+    burst: int
+
+
+def generate_trace(spec: ScenarioSpec, requests: Optional[int] = None,
+                   seed: int = 0) -> List[TrafficItem]:
+    """Generate ``requests`` items (default: the profile's nominal volume)."""
+    traffic = spec.traffic
+    if requests is None:
+        requests = traffic.requests
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    rng = random.Random(f"{seed}:{spec.name}:{requests}")
+    ops = [op for op, _ in traffic.mix]
+    weights = [weight for _, weight in traffic.mix]
+    return [
+        TrafficItem(
+            index=index,
+            op=rng.choices(ops, weights=weights)[0],
+            key=rng.randrange(traffic.key_space),
+            burst=index // traffic.burst,
+        )
+        for index in range(requests)
+    ]
+
+
+def bursts(trace: List[TrafficItem]) -> Iterator[List[TrafficItem]]:
+    """Group a trace into its bursts, in order."""
+    current: List[TrafficItem] = []
+    for item in trace:
+        if current and item.burst != current[-1].burst:
+            yield current
+            current = []
+        current.append(item)
+    if current:
+        yield current

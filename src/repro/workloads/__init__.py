@@ -32,6 +32,12 @@ from . import (  # noqa: E402,F401
 from .patterns import RacePlan, RacyHelper, racy_access
 from .synthetic import random_program, two_thread_racer
 
+# The declarative scenario catalog registers through the same registry
+# (tagged "scenario"; see docs/scenarios.md).
+from ..scenarios.catalog import register_catalog as _register_scenarios
+
+_register_scenarios()
+
 __all__ = [
     "PaperRaceCounts",
     "PlantedRace",

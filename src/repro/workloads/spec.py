@@ -65,6 +65,8 @@ class WorkloadSpec:
     #: Paper's Table 5 numbers for reference (LiteRace, full-logging slowdown).
     paper_literace_slowdown: Optional[float] = None
     paper_full_slowdown: Optional[float] = None
+    #: Free-form labels ("scenario", ...) used by tooling to group specs.
+    tags: Tuple[str, ...] = ()
 
     def build(self, seed: int = 0, scale: float = 1.0) -> Program:
         """Construct the program for one run (seed varies data placement)."""

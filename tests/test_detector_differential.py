@@ -92,9 +92,10 @@ class TestAllWorkloads:
         assert ft_flat.report.addresses == hb_flat.report.addresses
 
     def test_workload_set_is_complete(self):
-        # The acceptance bar is "all 12 workloads"; fail loudly if the
-        # registry changes shape rather than silently testing fewer.
-        assert len(WORKLOADS) == 12
+        # The acceptance bar is "all 12 hand-written workloads plus the
+        # 4 scenario-compiled ones"; fail loudly if the registry changes
+        # shape rather than silently testing fewer.
+        assert len(WORKLOADS) == 16
 
 
 # -- randomized streams ------------------------------------------------------

@@ -39,6 +39,25 @@ class TestRegistry:
         with pytest.raises(ValueError):
             workloads.register(spec)
 
+    def test_duplicate_name_cannot_shadow_original(self):
+        """Registering a *different* spec under a taken name must raise
+        and leave the original entry untouched — a silent overwrite would
+        let a later import quietly redefine a benchmark's ground truth."""
+        import dataclasses
+
+        original = workloads.get("synthetic")
+        impostor = dataclasses.replace(original, title="impostor",
+                                       description="should never land")
+        with pytest.raises(ValueError, match="already registered"):
+            workloads.register(impostor)
+        assert workloads.get("synthetic") is original
+
+    def test_scenarios_registered_with_tag(self):
+        for name in ("kv-store", "web-server", "pipeline", "work-steal"):
+            assert name in ALL_NAMES
+            assert "scenario" in workloads.get(name).tags
+            assert name not in RACE_EVAL
+
 
 @pytest.mark.parametrize("name", ALL_NAMES)
 class TestEveryWorkload:
